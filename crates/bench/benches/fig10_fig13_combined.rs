@@ -1,0 +1,47 @@
+//! Figs. 10/13 bench: the combined-metric reduction over a sweep's worth
+//! of summaries, plus a miniature two-point sweep end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtds_arm::metrics::combined_metric;
+use rtds_bench::bench_predictor;
+use rtds_experiments::scenario::{PatternSpec, PolicySpec};
+use rtds_experiments::sweep::{run_sweep, SweepConfig};
+use rtds_sim::metrics::RunSummary;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_fig13_combined");
+    let summaries: Vec<RunSummary> = (0..1_000)
+        .map(|i| RunSummary {
+            missed_deadline_pct: (i % 10) as f64,
+            avg_cpu_util_pct: 10.0 + (i % 30) as f64,
+            avg_net_util_pct: 5.0 + (i % 20) as f64,
+            avg_replicas: 1.0 + (i % 5) as f64,
+            decided_periods: 240,
+            released_periods: 240,
+            placement_changes: i as u64,
+        })
+        .collect();
+    g.bench_function("combined_metric_1000", |b| {
+        b.iter(|| {
+            summaries
+                .iter()
+                .map(|s| combined_metric(std::hint::black_box(s), 6))
+                .sum::<f64>()
+        })
+    });
+
+    let predictor = bench_predictor();
+    g.sample_size(10);
+    g.bench_function("mini_sweep_2x2", |b| {
+        let mut cfg = SweepConfig::quick(PatternSpec::Triangular { half_period: 10 });
+        cfg.units = vec![8, 24];
+        cfg.policies = vec![PolicySpec::Predictive, PolicySpec::NonPredictive];
+        cfg.n_periods = 20;
+        cfg.threads = 2;
+        b.iter(|| run_sweep(std::hint::black_box(&cfg), &predictor))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figs. 11-12 bench: one evaluation run per ramp pattern per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtds_bench::{bench_predictor, bench_scenario};
+use rtds_experiments::scenario::{run_scenario, PatternSpec, PolicySpec};
+
+fn bench(c: &mut Criterion) {
+    let predictor = bench_predictor();
+    let mut g = c.benchmark_group("fig11_fig12_ramps");
+    g.sample_size(10);
+    let patterns = [
+        ("fig11_increasing", PatternSpec::Increasing { ramp_periods: 40 }),
+        ("fig12_decreasing", PatternSpec::Decreasing { ramp_periods: 40 }),
+    ];
+    for (name, pattern) in patterns {
+        for policy in [PolicySpec::Predictive, PolicySpec::NonPredictive] {
+            let cfg = bench_scenario(pattern, policy);
+            g.bench_with_input(
+                BenchmarkId::new(name, policy.name()),
+                &cfg,
+                |b, cfg| b.iter(|| run_scenario(std::hint::black_box(cfg), &predictor)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figs. 2-4 bench: one profiling grid point (a full single-node
+//! simulation at a controlled utilization) at the figures' two operating
+//! points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtds_dynbench::app::{eval_decide_cost, filter_cost};
+use rtds_dynbench::profile::{profile_execution, ProfileConfig};
+
+fn point_cfg(u: f64, d: u64) -> ProfileConfig {
+    ProfileConfig {
+        utilizations_pct: vec![u],
+        data_sizes: vec![d],
+        periods_per_point: 3,
+        warmup_periods: 1,
+        seed: 0xBE,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_profile");
+    g.sample_size(10);
+    g.bench_with_input(
+        BenchmarkId::new("filter_point", "u80_d7500"),
+        &point_cfg(80.0, 7_500),
+        |b, cfg| b.iter(|| profile_execution(filter_cost(), std::hint::black_box(cfg))),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("evaldecide_point", "u60_d6000"),
+        &point_cfg(60.0, 6_000),
+        |b, cfg| b.iter(|| profile_execution(eval_decide_cost(), std::hint::black_box(cfg))),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

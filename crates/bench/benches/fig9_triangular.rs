@@ -1,0 +1,27 @@
+//! Fig. 9 bench: one triangular-pattern evaluation run per policy (the
+//! unit of work behind every Fig. 9/10 data point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtds_bench::{bench_predictor, bench_scenario};
+use rtds_experiments::scenario::{run_scenario, PatternSpec, PolicySpec};
+
+fn bench(c: &mut Criterion) {
+    let predictor = bench_predictor();
+    let mut g = c.benchmark_group("fig9_triangular");
+    g.sample_size(10);
+    for policy in [
+        PolicySpec::None,
+        PolicySpec::Predictive,
+        PolicySpec::NonPredictive,
+        PolicySpec::Incremental,
+    ] {
+        let cfg = bench_scenario(PatternSpec::Triangular { half_period: 10 }, policy);
+        g.bench_with_input(BenchmarkId::new("run", policy.name()), &cfg, |b, cfg| {
+            b.iter(|| run_scenario(std::hint::black_box(cfg), &predictor))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

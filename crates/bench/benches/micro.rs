@@ -1,0 +1,112 @@
+//! Micro-benches of the substrate hot paths: event queue, predictor
+//! evaluation, EQF assignment, monitoring classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtds_arm::eqf::{assign_deadlines, EqfVariant};
+use rtds_arm::monitor::{classify, MonitorConfig};
+use rtds_arm::online::OnlineRefiner;
+use rtds_regression::model::{ExecLatencyModel, LatencySample};
+use rtds_regression::validate::{cross_validate, FitMethod};
+use rtds_bench::bench_predictor;
+use rtds_sim::event::EventQueue;
+use rtds_sim::time::{SimDuration, SimTime};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+
+    g.bench_function("event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_micros((i * 7919) % 100_000 + 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+
+    let predictor = bench_predictor();
+    g.bench_function("predictor_eex_ecd", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for d in [1_000u64, 5_000, 10_000, 17_500] {
+                acc += predictor.eex(2, std::hint::black_box(d), 35.0).as_millis_f64();
+                acc += predictor.ecd(1, std::hint::black_box(d), 20_000).as_millis_f64();
+            }
+            acc
+        })
+    });
+
+    let exec = [6.0, 12.0, 180.0, 20.0, 220.0];
+    let comm = [40.0, 40.0, 40.0, 40.0];
+    g.bench_function("eqf_classic_assign", |b| {
+        b.iter(|| {
+            assign_deadlines(
+                std::hint::black_box(&exec),
+                &comm,
+                SimDuration::from_millis(990),
+                EqfVariant::Classic,
+            )
+        })
+    });
+    g.bench_function("eqf_paper_literal_assign", |b| {
+        b.iter(|| {
+            assign_deadlines(
+                std::hint::black_box(&exec),
+                &comm,
+                SimDuration::from_millis(990),
+                EqfVariant::PaperLiteral,
+            )
+        })
+    });
+
+    let cfg = MonitorConfig::default();
+    g.bench_function("monitor_classify", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..100u64 {
+                let h = classify(
+                    SimDuration::from_millis(i * 3),
+                    SimDuration::from_millis(200),
+                    std::hint::black_box(&cfg),
+                );
+                hits += h.needs_replication() as usize;
+            }
+            hits
+        })
+    });
+    let prior = ExecLatencyModel::from_coefficients([1e-5, 1e-3, 0.1], [1e-4, 1e-2, 1.0]);
+    g.bench_function("online_refiner_observe_100", |b| {
+        b.iter(|| {
+            let mut r = OnlineRefiner::default_tuning(&prior);
+            for i in 0..100u64 {
+                let d = 1.0 + (i % 20) as f64;
+                let u = 5.0 + (i % 8) as f64 * 10.0;
+                r.observe(std::hint::black_box(d), u, prior.predict_raw(d, u));
+            }
+            r.model()
+        })
+    });
+
+    let cv_samples: Vec<LatencySample> = (0..48)
+        .map(|i| {
+            let d = 1.0 + (i % 8) as f64 * 3.0;
+            let u = 10.0 + (i / 8) as f64 * 12.0;
+            LatencySample {
+                d,
+                u,
+                latency_ms: (1e-4 * u + 0.1) * d * d + (0.02 * u + 1.0) * d,
+            }
+        })
+        .collect();
+    g.bench_function("cross_validate_4fold_48", |b| {
+        b.iter(|| cross_validate(std::hint::black_box(&cv_samples), 4, FitMethod::Direct).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

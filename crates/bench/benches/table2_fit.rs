@@ -1,0 +1,41 @@
+//! Table 2 bench: fitting the Eq. (3) execution-latency model — the
+//! paper's two-stage procedure vs the direct six-parameter least squares
+//! (the first DESIGN.md ablation), across grid sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtds_regression::model::{ExecLatencyModel, LatencySample};
+
+fn grid(n_utils: usize, n_sizes: usize) -> Vec<LatencySample> {
+    let mut out = Vec::new();
+    for ui in 0..n_utils {
+        let u = 10.0 + 70.0 * ui as f64 / (n_utils - 1).max(1) as f64;
+        for di in 0..n_sizes {
+            let d = 2.0 + 170.0 * di as f64 / (n_sizes - 1).max(1) as f64;
+            let latency = (1e-5 * u * u + 1e-3 * u + 0.01) * d * d
+                + (1e-4 * u * u + 0.05 * u + 1.0) * d;
+            out.push(LatencySample { d, u, latency_ms: latency });
+        }
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_fit");
+    for (n_utils, n_sizes) in [(4usize, 6usize), (5, 10), (8, 20)] {
+        let samples = grid(n_utils, n_sizes);
+        g.bench_with_input(
+            BenchmarkId::new("two_stage", samples.len()),
+            &samples,
+            |b, s| b.iter(|| ExecLatencyModel::fit_two_stage(std::hint::black_box(s)).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("direct_lsq", samples.len()),
+            &samples,
+            |b, s| b.iter(|| ExecLatencyModel::fit_direct(std::hint::black_box(s)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

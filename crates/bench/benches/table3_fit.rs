@@ -1,0 +1,27 @@
+//! Table 3 bench: fitting the Eq. (5) buffer-delay slope.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtds_regression::buffer::{BufferDelayModel, BufferDelaySample};
+
+fn samples(n: usize) -> Vec<BufferDelaySample> {
+    (1..=n)
+        .map(|i| BufferDelaySample {
+            total_tracks: 250.0 * i as f64,
+            delay_ms: 0.007 * 250.0 * i as f64 * (1.0 + 0.05 * ((i % 3) as f64 - 1.0)),
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_fit");
+    for n in [10usize, 100, 1_000] {
+        let s = samples(n);
+        g.bench_with_input(BenchmarkId::new("through_origin", n), &s, |b, s| {
+            b.iter(|| BufferDelayModel::fit(std::hint::black_box(s)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

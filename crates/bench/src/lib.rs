@@ -1,0 +1,35 @@
+//! # rtds-bench — benchmark harness
+//!
+//! Criterion benches, one per table/figure of the paper plus
+//! micro-benches of the hot substrate paths and the DESIGN.md ablations.
+//! Shared scenario builders live here so every bench measures the same
+//! configurations the experiments report.
+
+#![forbid(unsafe_code)]
+
+use rtds_arm::predictor::Predictor;
+use rtds_experiments::models::quick_predictor;
+use rtds_experiments::scenario::{PatternSpec, PolicySpec, ScenarioConfig};
+use rtds_workloads::WorkloadRange;
+
+/// A short but representative evaluation scenario: 40 periods of the
+/// triangular pattern at the pre-threshold high-workload point.
+pub fn bench_scenario(pattern: PatternSpec, policy: PolicySpec) -> ScenarioConfig {
+    ScenarioConfig {
+        pattern,
+        policy,
+        workload: WorkloadRange::new(500, 12_000),
+        n_periods: 40,
+        ambient_util: 0.10,
+        seed: 0xBE_0C4,
+        scheduler: rtds_sim::sched::SchedulerKind::paper_baseline(),
+        online_refinement: false,
+        failures: Vec::new(),
+    }
+}
+
+/// The predictor every bench shares (analytic: no profiling in the timed
+/// path).
+pub fn bench_predictor() -> Predictor {
+    quick_predictor()
+}

@@ -1,0 +1,633 @@
+//! The adaptive resource manager (paper Fig. 1 and §4).
+//!
+//! [`ResourceManager`] implements the simulator's
+//! [`Controller`] interface and runs the
+//! paper's two-step loop at every period boundary:
+//!
+//! 1. **Monitor** (shared by both policies, §4.1): assign individual
+//!    deadlines to subtasks and messages with EQF, measure each subtask's
+//!    slack from the completed instance's observations, and identify
+//!    candidates for replication (slack too low / deadline missed) or
+//!    replica shutdown (very high slack, with hysteresis).
+//! 2. **Allocate** (policy-specific, §4.2): the predictive algorithm
+//!    (Fig. 5) forecasts replica timeliness with the fitted regression
+//!    models and adds the least-utilized processors until the forecast
+//!    fits; the non-predictive algorithm (Fig. 7) replicates onto every
+//!    processor under the utilization threshold. Both share the Fig. 6
+//!    shutdown rule. Deadlines are re-assigned after every action, as §4.1
+//!    prescribes.
+
+use rtds_sim::control::{ControlAction, ControlContext, Controller, PeriodObservation};
+use rtds_sim::ids::{NodeId, SubtaskIdx, TaskId};
+
+use crate::config::{ArmConfig, Policy};
+use crate::eqf::{assign_deadlines, DeadlineAssignment};
+use crate::monitor::{assess_stage, SlackTracker, StageHealth};
+use crate::nonpredictive::{replicate_subtask_incremental, replicate_subtask_nonpredictive, shutdown_a_replica};
+use crate::online::OnlineRefiner;
+use crate::predictive::{replicate_subtask_with, ReplicateFailure, ReplicationRequest};
+use crate::predictor::Predictor;
+
+/// Counters describing what the manager has done, for reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ManagerStats {
+    /// Replication decisions taken.
+    pub replications: u64,
+    /// Replica shutdowns taken.
+    pub shutdowns: u64,
+    /// Predictive allocations that ran out of processors (Fig. 5 FAILURE).
+    pub allocation_failures: u64,
+    /// Deadline re-assignments performed.
+    pub deadline_reassignments: u64,
+    /// Placement repairs after node failures.
+    pub repairs: u64,
+}
+
+/// The adaptive resource manager for one task.
+pub struct ResourceManager {
+    cfg: ArmConfig,
+    predictor: Predictor,
+    /// The task this manager is responsible for.
+    task: TaskId,
+    deadlines: Option<DeadlineAssignment>,
+    tracker: SlackTracker,
+    stats: ManagerStats,
+    /// Per-stage RLS refiners, present when online refinement is enabled.
+    refiners: Option<Vec<OnlineRefiner>>,
+    /// Period-boundary invocations seen (for the act_every control
+    /// latency).
+    invocations: u64,
+}
+
+impl ResourceManager {
+    /// Creates a manager for task 0 of the cluster.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: ArmConfig, predictor: Predictor) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ARM configuration: {e}");
+        }
+        let n = predictor.n_stages();
+        let refiners = cfg.online_refinement.then(|| {
+            (0..n)
+                .map(|j| OnlineRefiner::default_tuning(predictor.exec_model(j)))
+                .collect()
+        });
+        ResourceManager {
+            cfg,
+            predictor,
+            task: TaskId(0),
+            deadlines: None,
+            tracker: SlackTracker::new(n),
+            stats: ManagerStats::default(),
+            refiners,
+            invocations: 0,
+        }
+    }
+
+    /// The online refiner of one stage, if refinement is enabled.
+    pub fn refiner(&self, stage: usize) -> Option<&OnlineRefiner> {
+        self.refiners.as_ref().map(|r| &r[stage])
+    }
+
+    /// Targets a different task id.
+    pub fn for_task(mut self, task: TaskId) -> Self {
+        self.task = task;
+        self
+    }
+
+    /// Action counters so far.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// The current deadline assignment, once initialized.
+    pub fn deadlines(&self) -> Option<&DeadlineAssignment> {
+        self.deadlines.as_ref()
+    }
+
+    /// (Re-)assigns subtask and message deadlines from the current
+    /// conditions: per-replica data shares and mean replica-set
+    /// utilizations feed the regression estimates that EQF divides the
+    /// end-to-end deadline by.
+    fn reassign_deadlines(&mut self, ctx: &ControlContext, placements: &[Vec<NodeId>]) {
+        let tracks = ctx.last_tracks[self.task.index()].max(self.cfg.d_init_tracks.max(1));
+        let total = ctx.total_tracks().max(tracks);
+        let n = self.predictor.n_stages();
+        let mean_util = |nodes: &[NodeId]| -> f64 {
+            if nodes.is_empty() {
+                return self.cfg.u_init_pct;
+            }
+            nodes
+                .iter()
+                .map(|p| ctx.node_util_pct[p.index()])
+                .sum::<f64>()
+                / nodes.len() as f64
+        };
+        let exec: Vec<f64> = (0..n)
+            .map(|j| {
+                let k = placements[j].len().max(1) as u64;
+                let share = tracks.div_ceil(k);
+                self.predictor
+                    .eex(j, share, mean_util(&placements[j]))
+                    .as_millis_f64()
+            })
+            .collect();
+        let comm: Vec<f64> = (0..n.saturating_sub(1))
+            .map(|j| {
+                let k = placements[j].len().max(placements[j + 1].len()).max(1) as u64;
+                let share = tracks.div_ceil(k);
+                self.predictor.ecd(j, share, total).as_millis_f64()
+            })
+            .collect();
+        self.deadlines = Some(assign_deadlines(
+            &exec,
+            &comm,
+            ctx.deadlines[self.task.index()],
+            self.cfg.eqf,
+        ));
+        self.stats.deadline_reassignments += 1;
+    }
+
+    /// Step 2 for one candidate subtask: returns its new placement. Dead
+    /// nodes are masked with a pessimal utilization so neither policy ever
+    /// selects them, and results are filtered to alive nodes regardless.
+    fn allocate(
+        &mut self,
+        stage: usize,
+        current: &[NodeId],
+        obs_tracks: u64,
+        ctx: &ControlContext,
+    ) -> Vec<NodeId> {
+        let utils: Vec<f64> = ctx
+            .node_util_pct
+            .iter()
+            .zip(&ctx.alive)
+            .map(|(&u, &alive)| if alive { u } else { 1e6 })
+            .collect();
+        let ps = match self.cfg.policy {
+            Policy::Predictive => {
+                let deadlines = self.deadlines.as_ref().expect("deadlines initialized");
+                let budget = deadlines.stage_budget(stage);
+                let req = ReplicationRequest {
+                    current,
+                    node_util_pct: &utils,
+                    stage,
+                    tracks: obs_tracks,
+                    total_periodic_tracks: ctx.total_tracks(),
+                    budget,
+                    slack: budget.mul_f64(self.cfg.monitor.slack_fraction),
+                };
+                match replicate_subtask_with(&req, &self.predictor, self.cfg.processor_choice) {
+                    Ok(ps) => ps,
+                    Err(ReplicateFailure::OutOfProcessors { best_effort, .. }) => {
+                        // Fig. 5 reports FAILURE once every processor hosts
+                        // a replica; by then the pseudocode has already
+                        // enlarged PS to all of PR, so the maximal set is
+                        // what remains in force.
+                        self.stats.allocation_failures += 1;
+                        best_effort
+                    }
+                }
+            }
+            Policy::NonPredictive {
+                utilization_threshold_pct,
+            } => replicate_subtask_nonpredictive(current, &utils, utilization_threshold_pct),
+            Policy::Incremental => replicate_subtask_incremental(current, &utils),
+        };
+        let alive_ps: Vec<NodeId> = ps.into_iter().filter(|n| ctx.alive[n.index()]).collect();
+        if alive_ps.is_empty() {
+            current.to_vec()
+        } else {
+            alive_ps
+        }
+    }
+}
+
+/// Manages several tasks by delegating to one [`ResourceManager`] each —
+/// the paper's model is a *set* of periodic tasks (§3), each with its own
+/// pipeline, deadlines, and replica placements, all drawing on the same
+/// processor pool.
+pub struct CompositeManager {
+    managers: Vec<ResourceManager>,
+}
+
+impl CompositeManager {
+    /// Builds a composite from per-task managers. Each manager must
+    /// already be targeted (`for_task`) at its task.
+    pub fn new(managers: Vec<ResourceManager>) -> Self {
+        assert!(!managers.is_empty(), "composite needs at least one manager");
+        CompositeManager { managers }
+    }
+
+    /// Per-task manager stats.
+    pub fn stats(&self) -> Vec<ManagerStats> {
+        self.managers.iter().map(|m| m.stats()).collect()
+    }
+}
+
+impl Controller for CompositeManager {
+    fn on_period_boundary(
+        &mut self,
+        completed: &[PeriodObservation],
+        ctx: &ControlContext,
+    ) -> Vec<ControlAction> {
+        self.managers
+            .iter_mut()
+            .flat_map(|m| m.on_period_boundary(completed, ctx))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+}
+
+impl Controller for ResourceManager {
+    fn on_period_boundary(
+        &mut self,
+        completed: &[PeriodObservation],
+        ctx: &ControlContext,
+    ) -> Vec<ControlAction> {
+        let t = self.task.index();
+        let mut placements = ctx.placements[t].clone();
+        if self.deadlines.is_none() {
+            self.reassign_deadlines(ctx, &placements);
+        }
+        let mut actions = Vec::new();
+        let mut changed = false;
+
+        // Survivability repair: drop dead nodes from every replica set; a
+        // stage whose whole set died is re-homed on the least-utilized
+        // alive node (continued availability, paper §1's motivation).
+        for (j, ps) in placements.iter_mut().enumerate() {
+            if ps.iter().all(|n| ctx.alive[n.index()]) {
+                continue;
+            }
+            let mut repaired: Vec<NodeId> =
+                ps.iter().copied().filter(|n| ctx.alive[n.index()]).collect();
+            if repaired.is_empty() {
+                match ctx.least_utilized_excluding(&[]) {
+                    Some(n) => repaired.push(n),
+                    None => continue, // whole cluster dead; nothing to do
+                }
+            }
+            self.stats.repairs += 1;
+            *ps = repaired.clone();
+            actions.push(ControlAction::SetPlacement {
+                task: self.task,
+                subtask: SubtaskIdx::from_index(j),
+                nodes: repaired,
+            });
+            changed = true;
+        }
+
+        // Online refinement: absorb every completed stage observation and
+        // write the refined Eq. (3) coefficients back into the predictor.
+        if let Some(refiners) = self.refiners.as_mut() {
+            let mut touched = false;
+            for obs in completed.iter().filter(|o| o.task == self.task) {
+                for st in &obs.stages {
+                    let j = st.subtask.index();
+                    let replicas = st.replicas.max(1) as f64;
+                    let d = st.tracks as f64 / replicas / 100.0;
+                    let ps = &ctx.placements[t][j];
+                    let u = if ps.is_empty() {
+                        self.cfg.u_init_pct
+                    } else {
+                        ps.iter().map(|p| ctx.node_util_pct[p.index()]).sum::<f64>()
+                            / ps.len() as f64
+                    };
+                    refiners[j].observe(d, u, st.exec_latency.as_millis_f64());
+                    touched = true;
+                }
+            }
+            if touched {
+                let models: Vec<_> = refiners.iter().map(|r| r.model()).collect();
+                for (j, m) in models.into_iter().enumerate() {
+                    self.predictor.set_exec_model(j, m);
+                }
+            }
+        }
+
+        // Feed every completed instance through the monitor in order; act
+        // on the health of the most recent one.
+        let mut latest_health: Vec<Option<(StageHealth, u64)>> =
+            vec![None; self.predictor.n_stages()];
+        let mut shutdown_ready = vec![false; self.predictor.n_stages()];
+        let mut saw_shed = false;
+        for obs in completed.iter().filter(|o| o.task == self.task) {
+            if obs.stages.is_empty() {
+                saw_shed |= obs.missed;
+                continue;
+            }
+            let deadlines = self.deadlines.as_ref().expect("initialized above");
+            for st in &obs.stages {
+                let j = st.subtask.index();
+                if !ctx.replicable[t][j] {
+                    continue;
+                }
+                let health = assess_stage(st, deadlines, &self.cfg.monitor);
+                shutdown_ready[j] =
+                    self.tracker
+                        .observe(j, health, self.cfg.monitor.shutdown_patience);
+                latest_health[j] = Some((health, st.tracks));
+            }
+        }
+
+        self.invocations += 1;
+        let act_now = self.invocations.is_multiple_of(u64::from(self.cfg.act_every));
+        for j in 0..self.predictor.n_stages() {
+            if !act_now {
+                break; // between control rounds: monitor only
+            }
+            if !ctx.replicable[t][j] {
+                continue;
+            }
+            let needs = match latest_health[j] {
+                Some((h, _)) => h.needs_replication(),
+                // A shed period under overload gives no per-stage data;
+                // treat every replicable stage as a candidate so the
+                // manager can react at all (both policies equally).
+                None => saw_shed,
+            };
+            if needs {
+                let tracks = latest_health[j]
+                    .map(|(_, tr)| tr)
+                    .unwrap_or(ctx.last_tracks[t]);
+                let new = self.allocate(j, &placements[j], tracks, ctx);
+                if new != placements[j] {
+                    self.stats.replications += 1;
+                    placements[j] = new.clone();
+                    actions.push(ControlAction::SetPlacement {
+                        task: self.task,
+                        subtask: SubtaskIdx::from_index(j),
+                        nodes: new,
+                    });
+                    changed = true;
+                }
+            } else if shutdown_ready[j] && placements[j].len() > 1 {
+                let new = shutdown_a_replica(&placements[j]);
+                self.stats.shutdowns += 1;
+                placements[j] = new.clone();
+                actions.push(ControlAction::SetPlacement {
+                    task: self.task,
+                    subtask: SubtaskIdx::from_index(j),
+                    nodes: new,
+                });
+                changed = true;
+            }
+        }
+
+        // §4.1: "At each time a resource management action … is taken, the
+        // subtask deadlines are re-assigned."
+        if changed {
+            self.reassign_deadlines(ctx, &placements);
+        }
+        actions
+    }
+
+    fn name(&self) -> &'static str {
+        self.cfg.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::analytic_predictor;
+    use rtds_dynbench::app::{aaw_task, FILTER_STAGE};
+    use rtds_regression::buffer::{BufferDelayModel, CommDelayModel};
+    use rtds_sim::control::StageObservation;
+    use rtds_sim::time::{SimDuration, SimTime};
+
+    fn predictor() -> Predictor {
+        analytic_predictor(
+            &aaw_task(),
+            CommDelayModel::new(BufferDelayModel::from_slope(0.0005), 100e6),
+        )
+    }
+
+    fn manager(cfg: ArmConfig) -> ResourceManager {
+        ResourceManager::new(cfg, predictor())
+    }
+
+    fn ctx(utils: Vec<f64>, placements: Vec<Vec<NodeId>>, tracks: u64) -> ControlContext {
+        let task = aaw_task();
+        ControlContext {
+            now: SimTime::from_secs(5),
+            alive: vec![true; utils.len()],
+            node_util_pct: utils,
+            replicable: vec![task.stages.iter().map(|s| s.replicable).collect()],
+            placements: vec![placements],
+            periods: vec![task.period],
+            deadlines: vec![task.deadline],
+            last_tracks: vec![tracks],
+        }
+    }
+
+    fn home_placements() -> Vec<Vec<NodeId>> {
+        (0..5).map(|i| vec![NodeId(i)]).collect()
+    }
+
+    fn obs_with_filter_latency(exec_ms: f64, tracks: u64) -> PeriodObservation {
+        let stages = (0..5)
+            .map(|j| StageObservation {
+                subtask: SubtaskIdx::from_index(j),
+                replicas: 1,
+                tracks,
+                exec_latency: if j == FILTER_STAGE {
+                    SimDuration::from_millis_f64(exec_ms)
+                } else {
+                    SimDuration::from_millis(5)
+                },
+                inbound_msg_delay: SimDuration::from_millis(2),
+                stage_latency: SimDuration::from_millis_f64(exec_ms + 2.0),
+            })
+            .collect();
+        PeriodObservation {
+            task: TaskId(0),
+            instance: 7,
+            released: SimTime::from_secs(4),
+            tracks,
+            end_to_end: Some(SimDuration::from_millis(500)),
+            missed: false,
+            stages,
+        }
+    }
+
+    #[test]
+    fn quiet_system_takes_no_action() {
+        let mut m = manager(ArmConfig::paper_predictive());
+        let c = ctx(vec![10.0; 6], home_placements(), 1_000);
+        // Filter latency small vs budget: nominal.
+        let obs = obs_with_filter_latency(30.0, 1_000);
+        let actions = m.on_period_boundary(&[obs], &c);
+        // High-slack stages need `shutdown_patience` periods AND >1 replica;
+        // single replicas mean no shutdown either.
+        assert!(actions.is_empty(), "{actions:?}");
+        assert_eq!(m.stats().replications, 0);
+    }
+
+    #[test]
+    fn deadline_assignment_initialized_on_first_call() {
+        let mut m = manager(ArmConfig::paper_predictive());
+        assert!(m.deadlines().is_none());
+        let c = ctx(vec![10.0; 6], home_placements(), 1_000);
+        m.on_period_boundary(&[], &c);
+        let d = m.deadlines().expect("initialized");
+        assert_eq!(d.subtask.len(), 5);
+        assert_eq!(d.message.len(), 4);
+        let sum: f64 = d
+            .subtask
+            .iter()
+            .chain(d.message.iter())
+            .map(|x| x.as_millis_f64())
+            .sum();
+        assert!((sum - 990.0).abs() < 0.5, "classic EQF partitions 990: {sum}");
+    }
+
+    #[test]
+    fn predictive_replicates_overloaded_filter() {
+        let mut m = manager(ArmConfig::paper_predictive());
+        let c = ctx(vec![15.0; 6], home_placements(), 14_000);
+        m.on_period_boundary(&[], &c); // init deadlines
+        // Filter way over its budget.
+        let obs = obs_with_filter_latency(900.0, 14_000);
+        let actions = m.on_period_boundary(&[obs], &c);
+        let filter_action = actions.iter().find_map(|a| match a {
+            ControlAction::SetPlacement { subtask, nodes, .. }
+                if subtask.index() == FILTER_STAGE =>
+            {
+                Some(nodes.clone())
+            }
+            _ => None,
+        });
+        let nodes = filter_action.expect("filter must be replicated");
+        assert!(nodes.len() >= 2, "{nodes:?}");
+        assert_eq!(nodes[0], NodeId(FILTER_STAGE as u32), "original first");
+        assert!(m.stats().replications >= 1);
+        assert!(m.stats().deadline_reassignments >= 2, "reassigned after action");
+    }
+
+    #[test]
+    fn nonpredictive_grabs_all_idle_processors() {
+        let mut m = manager(ArmConfig::paper_nonpredictive());
+        let utils = vec![10.0, 30.0, 15.0, 25.0, 5.0, 2.0];
+        let c = ctx(utils, home_placements(), 14_000);
+        m.on_period_boundary(&[], &c);
+        let obs = obs_with_filter_latency(900.0, 14_000);
+        let actions = m.on_period_boundary(&[obs], &c);
+        let nodes = actions
+            .iter()
+            .find_map(|a| match a {
+                ControlAction::SetPlacement { subtask, nodes, .. }
+                    if subtask.index() == FILTER_STAGE =>
+                {
+                    Some(nodes.clone())
+                }
+                _ => None,
+            })
+            .expect("replication action");
+        // Nodes under 20 %: 0 (10), 4 (5), 5 (2) join node 2 (original).
+        assert_eq!(
+            nodes,
+            vec![NodeId(2), NodeId(0), NodeId(4), NodeId(5)],
+            "every idle node is grabbed"
+        );
+    }
+
+    #[test]
+    fn high_slack_with_patience_shuts_down_a_replica() {
+        let mut cfg = ArmConfig::paper_predictive();
+        cfg.monitor.shutdown_patience = 2;
+        let mut m = manager(cfg);
+        let mut placements = home_placements();
+        placements[FILTER_STAGE] = vec![NodeId(2), NodeId(5)];
+        let c = ctx(vec![10.0; 6], placements, 1_000);
+        m.on_period_boundary(&[], &c);
+        // Tiny latency = huge slack.
+        let obs = obs_with_filter_latency(1.0, 1_000);
+        let a1 = m.on_period_boundary(std::slice::from_ref(&obs), &c);
+        assert!(a1.is_empty(), "patience not yet met: {a1:?}");
+        let a2 = m.on_period_boundary(&[obs], &c);
+        let nodes = a2
+            .iter()
+            .find_map(|a| match a {
+                ControlAction::SetPlacement { subtask, nodes, .. }
+                    if subtask.index() == FILTER_STAGE =>
+                {
+                    Some(nodes.clone())
+                }
+                _ => None,
+            })
+            .expect("shutdown action on second high-slack period");
+        assert_eq!(nodes, vec![NodeId(2)], "last-added replica removed");
+        assert_eq!(m.stats().shutdowns, 1);
+    }
+
+    #[test]
+    fn shed_periods_trigger_replication_as_fallback() {
+        let mut m = manager(ArmConfig::paper_predictive());
+        let c = ctx(vec![10.0; 6], home_placements(), 16_000);
+        m.on_period_boundary(&[], &c);
+        let shed = PeriodObservation {
+            task: TaskId(0),
+            instance: 3,
+            released: SimTime::from_secs(3),
+            tracks: 16_000,
+            end_to_end: None,
+            missed: true,
+            stages: Vec::new(),
+        };
+        let actions = m.on_period_boundary(&[shed], &c);
+        assert!(
+            !actions.is_empty(),
+            "overload sheds must still provoke replication"
+        );
+    }
+
+    #[test]
+    fn single_node_cluster_cannot_replicate_but_never_panics() {
+        // Only one (busy) node: the predictive allocator runs out of
+        // processors immediately and keeps the maximal (= current) set.
+        let mut m = manager(ArmConfig::paper_predictive());
+        let task = aaw_task();
+        let c = ControlContext {
+            now: SimTime::from_secs(5),
+            alive: vec![true],
+            node_util_pct: vec![60.0],
+            replicable: vec![task.stages.iter().map(|s| s.replicable).collect()],
+            placements: vec![(0..5).map(|_| vec![NodeId(0)]).collect()],
+            periods: vec![task.period],
+            deadlines: vec![task.deadline],
+            last_tracks: vec![16_000],
+        };
+        m.on_period_boundary(&[], &c);
+        let obs = obs_with_filter_latency(900.0, 16_000);
+        let actions = m.on_period_boundary(&[obs], &c);
+        // The only possible "new" placement equals the current one, so no
+        // action is emitted and the failure counter ticks.
+        assert!(actions.is_empty(), "{actions:?}");
+        assert!(m.stats().allocation_failures >= 1);
+    }
+
+    #[test]
+    fn manager_reports_policy_name() {
+        assert_eq!(manager(ArmConfig::paper_predictive()).name(), "predictive");
+        assert_eq!(
+            manager(ArmConfig::paper_nonpredictive()).name(),
+            "non-predictive"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ARM configuration")]
+    fn invalid_config_panics_at_construction() {
+        let mut cfg = ArmConfig::paper_predictive();
+        cfg.monitor.slack_fraction = 0.9; // above shutdown threshold
+        let _ = manager(cfg);
+    }
+}

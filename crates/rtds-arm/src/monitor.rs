@@ -1,0 +1,278 @@
+//! Run-time monitoring and candidate selection (paper §4.1).
+//!
+//! Both the predictive and the non-predictive algorithm share this step:
+//! observe each subtask's latency against its EQF-assigned budget, and
+//! classify it. Subtasks "that have slack values lower than the desired
+//! value" or that "miss their individual deadlines" become **candidates
+//! for replication**; subtasks that "exhibit very high slack values"
+//! become candidates for replica **shutdown**.
+
+use rtds_sim::control::StageObservation;
+use rtds_sim::time::SimDuration;
+
+use crate::eqf::DeadlineAssignment;
+
+/// Monitoring thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct MonitorConfig {
+    /// Minimum slack each subtask must keep, as a fraction of its budget.
+    /// The paper sets `sl = 0.2 · dl(st)` — a desired 20 % slack.
+    pub slack_fraction: f64,
+    /// Slack fraction above which a subtask is considered to have "very
+    /// high slack" and its last replica may be shut down.
+    pub shutdown_slack_fraction: f64,
+    /// Consecutive high-slack periods required before shutting a replica
+    /// down (hysteresis against add/remove thrash; 1 = act immediately).
+    pub shutdown_patience: u32,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            slack_fraction: 0.2,
+            shutdown_slack_fraction: 0.6,
+            shutdown_patience: 2,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Validates the invariants the algorithms rely on.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.slack_fraction) {
+            return Err(format!("slack_fraction {} not in [0,1)", self.slack_fraction));
+        }
+        if !(0.0..1.0).contains(&self.shutdown_slack_fraction) {
+            return Err(format!(
+                "shutdown_slack_fraction {} not in [0,1)",
+                self.shutdown_slack_fraction
+            ));
+        }
+        if self.shutdown_slack_fraction <= self.slack_fraction {
+            return Err("shutdown threshold must exceed the replication threshold \
+                 or the manager will thrash"
+                .into());
+        }
+        if self.shutdown_patience == 0 {
+            return Err("shutdown_patience must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One stage's health, as judged against its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageHealth {
+    /// Observed latency exceeded the budget: the individual deadline was
+    /// missed.
+    Missed,
+    /// Met the deadline but with less than the required slack.
+    LowSlack,
+    /// Comfortably within budget.
+    Nominal,
+    /// So much slack that resources can be reclaimed.
+    HighSlack,
+}
+
+impl StageHealth {
+    /// True for states that make the stage a replication candidate.
+    pub fn needs_replication(self) -> bool {
+        matches!(self, StageHealth::Missed | StageHealth::LowSlack)
+    }
+}
+
+/// Classifies one stage observation against its combined budget (inbound
+/// message + execution), per [`DeadlineAssignment::stage_budget`].
+pub fn assess_stage(
+    obs: &StageObservation,
+    deadlines: &DeadlineAssignment,
+    cfg: &MonitorConfig,
+) -> StageHealth {
+    let budget = deadlines.stage_budget(obs.subtask.index());
+    let observed = obs.exec_latency + obs.inbound_msg_delay;
+    classify(observed, budget, cfg)
+}
+
+/// Core classification: slack = budget − observed, compared against the
+/// configured fractions of the budget.
+pub fn classify(
+    observed: SimDuration,
+    budget: SimDuration,
+    cfg: &MonitorConfig,
+) -> StageHealth {
+    if observed > budget {
+        return StageHealth::Missed;
+    }
+    let slack = budget - observed;
+    let slack_f = if budget.is_zero() {
+        0.0
+    } else {
+        slack.as_millis_f64() / budget.as_millis_f64()
+    };
+    if slack_f < cfg.slack_fraction {
+        StageHealth::LowSlack
+    } else if slack_f > cfg.shutdown_slack_fraction {
+        StageHealth::HighSlack
+    } else {
+        StageHealth::Nominal
+    }
+}
+
+/// Tracks consecutive high-slack observations per stage, implementing the
+/// shutdown hysteresis.
+#[derive(Debug, Clone, Default)]
+pub struct SlackTracker {
+    streaks: Vec<u32>,
+}
+
+impl SlackTracker {
+    /// Creates a tracker for `n_stages` stages.
+    pub fn new(n_stages: usize) -> Self {
+        SlackTracker {
+            streaks: vec![0; n_stages],
+        }
+    }
+
+    /// Records one observation; returns true if the stage has now been
+    /// high-slack for at least `patience` consecutive periods (and resets
+    /// the streak so the next shutdown needs a fresh streak).
+    pub fn observe(&mut self, stage: usize, health: StageHealth, patience: u32) -> bool {
+        if health == StageHealth::HighSlack {
+            self.streaks[stage] += 1;
+            if self.streaks[stage] >= patience {
+                self.streaks[stage] = 0;
+                return true;
+            }
+        } else {
+            self.streaks[stage] = 0;
+        }
+        false
+    }
+
+    /// Current streak length of a stage.
+    pub fn streak(&self, stage: usize) -> u32 {
+        self.streaks[stage]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eqf::{assign_deadlines, EqfVariant};
+    use rtds_sim::ids::SubtaskIdx;
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig::default()
+    }
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis_f64(v)
+    }
+
+    #[test]
+    fn default_config_is_paper_faithful_and_valid() {
+        let c = cfg();
+        assert_eq!(c.slack_fraction, 0.2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn config_validation_catches_inversions() {
+        let bad = MonitorConfig {
+            slack_fraction: 0.7,
+            shutdown_slack_fraction: 0.6,
+            shutdown_patience: 1,
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = MonitorConfig {
+            slack_fraction: -0.1,
+            ..cfg()
+        };
+        assert!(bad2.validate().is_err());
+        let bad3 = MonitorConfig {
+            shutdown_patience: 0,
+            ..cfg()
+        };
+        assert!(bad3.validate().is_err());
+    }
+
+    #[test]
+    fn classify_covers_all_bands() {
+        let b = ms(100.0);
+        assert_eq!(classify(ms(120.0), b, &cfg()), StageHealth::Missed);
+        assert_eq!(classify(ms(90.0), b, &cfg()), StageHealth::LowSlack);
+        assert_eq!(classify(ms(50.0), b, &cfg()), StageHealth::Nominal);
+        assert_eq!(classify(ms(10.0), b, &cfg()), StageHealth::HighSlack);
+    }
+
+    #[test]
+    fn classify_band_edges() {
+        let b = ms(100.0);
+        // Exactly at budget: met, slack 0 -> low slack, not missed.
+        assert_eq!(classify(ms(100.0), b, &cfg()), StageHealth::LowSlack);
+        // Exactly 20 % slack is *not* below the threshold.
+        assert_eq!(classify(ms(80.0), b, &cfg()), StageHealth::Nominal);
+        // Exactly 60 % slack is not above the shutdown threshold.
+        assert_eq!(classify(ms(40.0), b, &cfg()), StageHealth::Nominal);
+    }
+
+    #[test]
+    fn zero_budget_is_always_low_slack_or_missed() {
+        assert_eq!(classify(ms(0.0), ms(0.0), &cfg()), StageHealth::LowSlack);
+        assert_eq!(classify(ms(1.0), ms(0.0), &cfg()), StageHealth::Missed);
+    }
+
+    #[test]
+    fn needs_replication_covers_missed_and_low() {
+        assert!(StageHealth::Missed.needs_replication());
+        assert!(StageHealth::LowSlack.needs_replication());
+        assert!(!StageHealth::Nominal.needs_replication());
+        assert!(!StageHealth::HighSlack.needs_replication());
+    }
+
+    #[test]
+    fn assess_uses_combined_message_and_exec_budget() {
+        let deadlines = assign_deadlines(
+            &[10.0, 10.0],
+            &[10.0],
+            ms(300.0),
+            EqfVariant::Classic,
+        );
+        // Stage 1 budget = 100 (msg) + 100 (exec) = 200.
+        let obs = StageObservation {
+            subtask: SubtaskIdx(1),
+            replicas: 1,
+            tracks: 100,
+            exec_latency: ms(120.0),
+            inbound_msg_delay: ms(70.0),
+            stage_latency: ms(190.0),
+        };
+        assert_eq!(assess_stage(&obs, &deadlines, &cfg()), StageHealth::LowSlack);
+        let ok = StageObservation {
+            exec_latency: ms(60.0),
+            inbound_msg_delay: ms(40.0),
+            ..obs
+        };
+        assert_eq!(assess_stage(&ok, &deadlines, &cfg()), StageHealth::Nominal);
+    }
+
+    #[test]
+    fn tracker_requires_consecutive_high_slack() {
+        let mut t = SlackTracker::new(2);
+        assert!(!t.observe(0, StageHealth::HighSlack, 2));
+        assert!(t.observe(0, StageHealth::HighSlack, 2), "second in a row fires");
+        assert_eq!(t.streak(0), 0, "streak resets after firing");
+        // A nominal period breaks the streak.
+        assert!(!t.observe(1, StageHealth::HighSlack, 2));
+        assert!(!t.observe(1, StageHealth::Nominal, 2));
+        assert!(!t.observe(1, StageHealth::HighSlack, 2));
+        assert_eq!(t.streak(1), 1);
+    }
+
+    #[test]
+    fn patience_one_fires_immediately() {
+        let mut t = SlackTracker::new(1);
+        assert!(t.observe(0, StageHealth::HighSlack, 1));
+    }
+}

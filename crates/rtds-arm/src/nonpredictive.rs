@@ -1,0 +1,151 @@
+//! The non-predictive baseline algorithm (paper Fig. 7) and the replica
+//! shutdown rule (Fig. 6) shared by both algorithms.
+
+use rtds_sim::ids::NodeId;
+
+/// Fig. 7: `ReplicateSubtask` without prediction. "The algorithm
+/// identifies processors that are exhibiting utilization levels below a
+/// threshold value and replicates the candidate subtasks" onto **every**
+/// such processor — no forecast, no stopping rule.
+///
+/// Returns the enlarged replica set (unchanged if no processor qualifies).
+pub fn replicate_subtask_nonpredictive(
+    current: &[NodeId],
+    node_util_pct: &[f64],
+    threshold_pct: f64,
+) -> Vec<NodeId> {
+    assert!(!current.is_empty(), "replica set can never be empty");
+    assert!(
+        (0.0..=100.0).contains(&threshold_pct),
+        "threshold must be a percentage"
+    );
+    let mut ps = current.to_vec();
+    for (i, &u) in node_util_pct.iter().enumerate() {
+        let n = NodeId::from_index(i);
+        if !ps.contains(&n) && u < threshold_pct {
+            ps.push(n);
+        }
+    }
+    ps
+}
+
+/// A second heuristic baseline, *not* in the paper: add exactly **one**
+/// replica per candidate per control round, on the least-utilized
+/// processor, with no forecast. Comparing it against Fig. 5 isolates the
+/// value of the *prediction* from the value of incremental least-utilized
+/// allocation — the paper's Fig. 7 baseline conflates the two by grabbing
+/// every idle node at once.
+///
+/// Returns the enlarged set, or the original if no processor remains.
+pub fn replicate_subtask_incremental(
+    current: &[NodeId],
+    node_util_pct: &[f64],
+) -> Vec<NodeId> {
+    assert!(!current.is_empty(), "replica set can never be empty");
+    let mut ps = current.to_vec();
+    let candidate = (0..node_util_pct.len())
+        .map(NodeId::from_index)
+        .filter(|n| !ps.contains(n))
+        .min_by(|a, b| {
+            node_util_pct[a.index()]
+                .partial_cmp(&node_util_pct[b.index()])
+                .expect("utilization is never NaN")
+                .then(a.cmp(b))
+        });
+    if let Some(n) = candidate {
+        ps.push(n);
+    }
+    ps
+}
+
+/// Fig. 6: `ShutDownAReplica` — removes the **last added** replica, never
+/// the original (step 1: a single-replica set is left alone).
+///
+/// Returns the reduced set (unchanged if only the original remains).
+pub fn shutdown_a_replica(current: &[NodeId]) -> Vec<NodeId> {
+    assert!(!current.is_empty(), "replica set can never be empty");
+    if current.len() == 1 {
+        return current.to_vec();
+    }
+    current[..current.len() - 1].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicates_onto_every_low_utilization_node() {
+        let utils = [50.0, 10.0, 5.0, 30.0, 19.9, 90.0];
+        let ps = replicate_subtask_nonpredictive(&[NodeId(0)], &utils, 20.0);
+        // Nodes 1 (10 %), 2 (5 %), 4 (19.9 %) qualify; 3 and 5 do not.
+        assert_eq!(ps, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let utils = [20.0, 20.0];
+        let ps = replicate_subtask_nonpredictive(&[NodeId(0)], &utils, 20.0);
+        assert_eq!(ps, vec![NodeId(0)], "exactly-at-threshold does not qualify");
+    }
+
+    #[test]
+    fn existing_replicas_are_not_duplicated() {
+        let utils = [0.0, 0.0, 0.0];
+        let ps = replicate_subtask_nonpredictive(&[NodeId(1), NodeId(0)], &utils, 20.0);
+        assert_eq!(ps, vec![NodeId(1), NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn no_qualifying_nodes_leaves_set_unchanged() {
+        let utils = [80.0, 70.0, 95.0];
+        let ps = replicate_subtask_nonpredictive(&[NodeId(0)], &utils, 20.0);
+        assert_eq!(ps, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn greedy_replication_uses_the_whole_idle_cluster() {
+        // The defining behavior the paper's figures show: the
+        // non-predictive algorithm grabs every idle node it can see.
+        let utils = [1.0; 6];
+        let ps = replicate_subtask_nonpredictive(&[NodeId(2)], &utils, 20.0);
+        assert_eq!(ps.len(), 6);
+    }
+
+    #[test]
+    fn incremental_adds_exactly_one_least_utilized() {
+        let utils = [50.0, 10.0, 5.0, 30.0, 19.9, 90.0];
+        let ps = replicate_subtask_incremental(&[NodeId(0)], &utils);
+        assert_eq!(ps, vec![NodeId(0), NodeId(2)], "one replica, least utilized");
+        // Saturated set: unchanged.
+        let all: Vec<NodeId> = (0..6).map(NodeId).collect();
+        assert_eq!(replicate_subtask_incremental(&all, &utils), all);
+    }
+
+    #[test]
+    fn shutdown_removes_only_the_last_added() {
+        let ps = shutdown_a_replica(&[NodeId(2), NodeId(5), NodeId(0)]);
+        assert_eq!(ps, vec![NodeId(2), NodeId(5)]);
+    }
+
+    #[test]
+    fn shutdown_never_removes_the_original() {
+        let ps = shutdown_a_replica(&[NodeId(2)]);
+        assert_eq!(ps, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn repeated_shutdown_converges_to_original() {
+        let mut ps = vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        for _ in 0..10 {
+            ps = shutdown_a_replica(&ps);
+        }
+        assert_eq!(ps, vec![NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn bad_threshold_panics() {
+        let _ = replicate_subtask_nonpredictive(&[NodeId(0)], &[0.0], 150.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Online refinement of the Eq. (3) latency model.
+//!
+//! The paper's closest related work (\[BN+98, RSYJ97\]) observes resource
+//! requirements **a-posteriori** and uses the observations "to refine the
+//! a-priori estimates". This module brings that capability to the
+//! predictive algorithm: Eq. (3) is linear in the feature vector
+//! `φ(d, u) = [u²d², ud², d², u²d, ud, d]`, so its coefficients can be
+//! updated from live `(d, u, latency)` observations with **recursive
+//! least squares** (RLS) with exponential forgetting — no refitting pass,
+//! O(36) state per subtask, and graceful tracking when the application's
+//! true cost drifts (sensor upgrades, software changes, interference).
+//!
+//! Enable via [`crate::config::ArmConfig::online_refinement`]; the manager
+//! then feeds every completed stage observation into the refiner and
+//! predicts from the refined coefficients.
+
+use rtds_regression::model::ExecLatencyModel;
+
+/// Number of Eq. (3) coefficients.
+const K: usize = 6;
+
+/// Internal feature scaling. The raw Eq. (3) features span ~7 orders of
+/// magnitude (`u²d²` vs `d` at u ≈ 50, d ≈ 30), which wrecks RLS
+/// conditioning; scaling them to comparable magnitudes keeps the inverse
+/// covariance well-behaved. Coefficients are stored in *scaled* space and
+/// converted on export.
+const SCALE: [f64; K] = [1e-5, 1e-3, 1e-1, 1e-3, 1e-1, 1.0];
+
+/// Recursive-least-squares refiner for one subtask's Eq. (3) model.
+#[derive(Debug, Clone)]
+pub struct OnlineRefiner {
+    /// Current coefficients `[a1, a2, a3, b1, b2, b3]`.
+    theta: [f64; K],
+    /// Inverse-covariance matrix (row-major).
+    p: [[f64; K]; K],
+    /// Forgetting factor λ ∈ (0, 1]; 1 = infinite memory.
+    lambda: f64,
+    /// Observations absorbed.
+    updates: u64,
+}
+
+fn features(d: f64, u: f64) -> [f64; K] {
+    let raw = [u * u * d * d, u * d * d, d * d, u * u * d, u * d, d];
+    let mut out = [0.0; K];
+    for i in 0..K {
+        out[i] = raw[i] * SCALE[i];
+    }
+    out
+}
+
+impl OnlineRefiner {
+    /// Starts from a fitted (or analytic) model. `prior_strength`
+    /// controls how much the prior coefficients resist early updates:
+    /// the initial inverse covariance is `I / prior_strength`, so larger
+    /// values mean stronger trust in the prior.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lambda <= 1` and `prior_strength > 0`.
+    pub fn from_model(model: &ExecLatencyModel, lambda: f64, prior_strength: f64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0, "forgetting factor in (0,1]");
+        assert!(prior_strength > 0.0, "prior strength must be positive");
+        let raw = [
+            model.a[0], model.a[1], model.a[2], model.b[0], model.b[1], model.b[2],
+        ];
+        let mut theta = [0.0; K];
+        for i in 0..K {
+            theta[i] = raw[i] / SCALE[i];
+        }
+        let mut p = [[0.0; K]; K];
+        for (i, row) in p.iter_mut().enumerate() {
+            row[i] = 1.0 / prior_strength;
+        }
+        OnlineRefiner {
+            theta,
+            p,
+            lambda,
+            updates: 0,
+        }
+    }
+
+    /// Default tuning for per-period stage observations: λ = 0.98
+    /// (≈ 50-period memory) and a moderately confident prior.
+    pub fn default_tuning(model: &ExecLatencyModel) -> Self {
+        Self::from_model(model, 0.98, 1e3)
+    }
+
+    /// Number of observations absorbed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Absorbs one observation: the stage processed `d` (hundreds of
+    /// tracks, per replica) at utilization `u` (percent) in `latency_ms`.
+    /// Non-finite inputs are ignored (robustness against degenerate
+    /// observations).
+    #[allow(clippy::needless_range_loop)] // indexed form mirrors the algebra
+    pub fn observe(&mut self, d: f64, u: f64, latency_ms: f64) {
+        if !(d.is_finite() && u.is_finite() && latency_ms.is_finite()) || d <= 0.0 {
+            return;
+        }
+        let phi = features(d, u);
+        // P φ
+        let mut pphi = [0.0; K];
+        for i in 0..K {
+            for j in 0..K {
+                pphi[i] += self.p[i][j] * phi[j];
+            }
+        }
+        // φᵀ P φ
+        let denom: f64 = self.lambda + phi.iter().zip(&pphi).map(|(a, b)| a * b).sum::<f64>();
+        if !denom.is_finite() || denom <= 0.0 {
+            return;
+        }
+        // Gain k = P φ / denom
+        let mut gain = [0.0; K];
+        for i in 0..K {
+            gain[i] = pphi[i] / denom;
+        }
+        // Innovation
+        let pred: f64 = phi.iter().zip(&self.theta).map(|(a, b)| a * b).sum();
+        let err = latency_ms - pred;
+        for i in 0..K {
+            self.theta[i] += gain[i] * err;
+        }
+        // P = (P − k (P φ)ᵀ) / λ   (using symmetry of P)
+        for i in 0..K {
+            for j in 0..K {
+                self.p[i][j] = (self.p[i][j] - gain[i] * pphi[j]) / self.lambda;
+            }
+        }
+        self.updates += 1;
+    }
+
+    /// Current prediction for `(d, u)`, clamped non-negative like
+    /// [`ExecLatencyModel::predict`].
+    pub fn predict(&self, d: f64, u: f64) -> f64 {
+        let phi = features(d, u);
+        phi.iter()
+            .zip(&self.theta)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            .max(0.0)
+    }
+
+    /// Exports the refined coefficients as an [`ExecLatencyModel`].
+    pub fn model(&self) -> ExecLatencyModel {
+        let mut raw = [0.0; K];
+        for i in 0..K {
+            raw[i] = self.theta[i] * SCALE[i];
+        }
+        ExecLatencyModel::from_coefficients([raw[0], raw[1], raw[2]], [raw[3], raw[4], raw[5]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(d: f64, u: f64) -> f64 {
+        (2e-5 * u * u + 1e-3 * u + 0.02) * d * d + (1e-4 * u * u + 0.04 * u + 1.2) * d
+    }
+
+    fn wrong_prior() -> ExecLatencyModel {
+        // A prior that is off by 2x on every coefficient.
+        ExecLatencyModel::from_coefficients(
+            [4e-5, 2e-3, 0.04],
+            [2e-4, 0.08, 2.4],
+        )
+    }
+
+    #[test]
+    fn converges_to_the_true_surface() {
+        let mut r = OnlineRefiner::from_model(&wrong_prior(), 1.0, 1e2);
+        // Stream a few hundred observations over the operating envelope.
+        for step in 0..400 {
+            let d = 2.0 + (step % 17) as f64 * 3.0;
+            let u = 10.0 + (step % 7) as f64 * 10.0;
+            r.observe(d, u, truth(d, u));
+        }
+        for &(d, u) in &[(10.0, 30.0), (40.0, 60.0), (25.0, 15.0)] {
+            let p = r.predict(d, u);
+            let t = truth(d, u);
+            assert!(
+                (p - t).abs() < 0.02 * t,
+                "refined predict({d},{u}) = {p}, truth {t}"
+            );
+        }
+        assert_eq!(r.updates(), 400);
+    }
+
+    #[test]
+    fn prior_strength_controls_early_movement() {
+        let weak = OnlineRefiner::from_model(&wrong_prior(), 1.0, 1.0);
+        let strong = OnlineRefiner::from_model(&wrong_prior(), 1.0, 1e9);
+        let mut weak = weak;
+        let mut strong = strong;
+        let (d, u) = (20.0, 40.0);
+        weak.observe(d, u, truth(d, u));
+        strong.observe(d, u, truth(d, u));
+        let prior_pred = wrong_prior().predict(d, u);
+        let t = truth(d, u);
+        let weak_moved = (weak.predict(d, u) - prior_pred).abs();
+        let strong_moved = (strong.predict(d, u) - prior_pred).abs();
+        assert!(weak_moved > strong_moved, "{weak_moved} vs {strong_moved}");
+        assert!(weak_moved > 0.1 * (t - prior_pred).abs());
+    }
+
+    #[test]
+    fn forgetting_tracks_drift() {
+        // The true surface doubles mid-stream; with forgetting the refiner
+        // follows, and recent-truth error ends far below stale-truth error.
+        let mut r = OnlineRefiner::from_model(&wrong_prior(), 0.95, 1e2);
+        let drifted = |d: f64, u: f64| 2.0 * truth(d, u);
+        for step in 0..300 {
+            let d = 2.0 + (step % 13) as f64 * 4.0;
+            let u = 10.0 + (step % 6) as f64 * 12.0;
+            r.observe(d, u, truth(d, u));
+        }
+        for step in 0..300 {
+            let d = 2.0 + (step % 13) as f64 * 4.0;
+            let u = 10.0 + (step % 6) as f64 * 12.0;
+            r.observe(d, u, drifted(d, u));
+        }
+        let (d, u) = (30.0, 40.0);
+        let p = r.predict(d, u);
+        let err_new = (p - drifted(d, u)).abs();
+        let err_old = (p - truth(d, u)).abs();
+        assert!(
+            err_new < 0.1 * err_old,
+            "should track the drifted surface: new-err {err_new}, old-err {err_old}"
+        );
+    }
+
+    #[test]
+    fn without_forgetting_drift_tracking_is_slower() {
+        let run = |lambda: f64| {
+            let mut r = OnlineRefiner::from_model(&wrong_prior(), lambda, 1e2);
+            for step in 0..200 {
+                let d = 2.0 + (step % 13) as f64 * 4.0;
+                let u = 10.0 + (step % 6) as f64 * 12.0;
+                r.observe(d, u, truth(d, u));
+            }
+            for step in 0..100 {
+                let d = 2.0 + (step % 13) as f64 * 4.0;
+                let u = 10.0 + (step % 6) as f64 * 12.0;
+                r.observe(d, u, 2.0 * truth(d, u));
+            }
+            let (d, u) = (30.0, 40.0);
+            (r.predict(d, u) - 2.0 * truth(d, u)).abs()
+        };
+        assert!(run(0.93) < run(1.0), "forgetting should adapt faster");
+    }
+
+    #[test]
+    fn ignores_degenerate_observations() {
+        let mut r = OnlineRefiner::default_tuning(&wrong_prior());
+        r.observe(f64::NAN, 10.0, 5.0);
+        r.observe(10.0, f64::INFINITY, 5.0);
+        r.observe(-3.0, 10.0, 5.0);
+        r.observe(0.0, 10.0, 5.0);
+        assert_eq!(r.updates(), 0);
+    }
+
+    #[test]
+    fn exported_model_matches_refiner_predictions() {
+        let mut r = OnlineRefiner::from_model(&wrong_prior(), 1.0, 10.0);
+        for step in 0..100 {
+            let d = 1.0 + step as f64 % 20.0;
+            let u = 5.0 + step as f64 % 50.0;
+            r.observe(d, u, truth(d, u));
+        }
+        let m = r.model();
+        for &(d, u) in &[(5.0, 20.0), (15.0, 45.0)] {
+            assert!((m.predict(d, u) - r.predict(d, u)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn predictions_are_clamped_non_negative() {
+        let m = ExecLatencyModel::from_coefficients([-1.0, 0.0, 0.0], [0.0, 0.0, 0.0]);
+        let r = OnlineRefiner::from_model(&m, 1.0, 1.0);
+        assert_eq!(r.predict(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting factor")]
+    fn bad_lambda_rejected() {
+        let _ = OnlineRefiner::from_model(&wrong_prior(), 1.5, 1.0);
+    }
+}

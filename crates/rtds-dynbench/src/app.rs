@@ -1,0 +1,272 @@
+//! The synthetic DynBench/AAW benchmark application.
+//!
+//! The paper profiles "a real-time benchmark application that has resulted
+//! from our past work \[SWR99\]" (DynBench), modeled on the U.S. Navy's
+//! Anti-Air Warfare system: a periodic sensing pipeline that filters radar
+//! tracks, correlates them, and evaluates/decides on threats. Table 1 gives
+//! its shape — one periodic task, five subtasks in series, two of them
+//! replicable — and Figs. 2–3 profile the *Filter* and *EvalDecide*
+//! subtasks, which Table 2 identifies as subtasks **3** and **5**.
+//!
+//! We reproduce that shape synthetically: each subtask gets an intrinsic
+//! CPU-cost polynomial in the data size. Filter and EvalDecide carry
+//! quadratic terms (track filtering and threat evaluation are
+//! super-linear in the number of tracks), which is precisely what makes
+//! replication pay off and what Eq. (3)'s `d²` term models.
+
+use rtds_sim::ids::{NodeId, TaskId};
+use rtds_sim::pipeline::{PolynomialCost, StageSpec, TaskSpec};
+use rtds_sim::time::SimDuration;
+
+/// Pipeline positions of the two replicable subtasks (0-based): Filter is
+/// the paper's subtask 3, EvalDecide its subtask 5.
+pub const FILTER_STAGE: usize = 2;
+/// See [`FILTER_STAGE`].
+pub const EVAL_DECIDE_STAGE: usize = 4;
+
+/// Intrinsic cost of the *Filter* subtask (ms, `h` = hundreds of tracks):
+/// `0.010·h² + 0.9·h`.
+pub fn filter_cost() -> PolynomialCost {
+    PolynomialCost::new(0.010, 0.9, 0.0)
+}
+
+/// Intrinsic cost of the *EvalDecide* subtask: `0.006·h² + 1.2·h`.
+pub fn eval_decide_cost() -> PolynomialCost {
+    PolynomialCost::new(0.006, 1.2, 0.0)
+}
+
+/// Builds the five-subtask AAW pipeline of Table 1.
+///
+/// Stage homes follow the natural one-subtask-per-node deployment on the
+/// paper's 6-node cluster, leaving node 5 as spare capacity:
+///
+/// | # | subtask     | cost (ms)            | replicable | home |
+/// |---|-------------|----------------------|------------|------|
+/// | 1 | Radar       | 0.08·h + 2           | no         | p0   |
+/// | 2 | Preprocess  | 0.15·h + 3           | no         | p1   |
+/// | 3 | Filter      | 0.010·h² + 0.9·h     | **yes**    | p2   |
+/// | 4 | Correlate   | 0.20·h + 4           | no         | p3   |
+/// | 5 | EvalDecide  | 0.006·h² + 1.2·h     | **yes**    | p4   |
+///
+/// Tracks are 80 bytes (Table 1); every stage forwards the full stream
+/// except EvalDecide, which emits compact engagement orders.
+pub fn aaw_task() -> TaskSpec {
+    TaskSpec {
+        id: TaskId(0),
+        name: "aaw".into(),
+        period: SimDuration::from_secs(1),
+        deadline: SimDuration::from_millis(990),
+        track_bytes: 80,
+        stages: vec![
+            StageSpec {
+                name: "Radar".into(),
+                cost: PolynomialCost::linear(0.08, 2.0),
+                replicable: false,
+                home: NodeId(0),
+                output_bytes_per_track: 80.0,
+            },
+            StageSpec {
+                name: "Preprocess".into(),
+                cost: PolynomialCost::linear(0.15, 3.0),
+                replicable: false,
+                home: NodeId(1),
+                output_bytes_per_track: 80.0,
+            },
+            StageSpec {
+                name: "Filter".into(),
+                cost: filter_cost(),
+                replicable: true,
+                home: NodeId(2),
+                output_bytes_per_track: 80.0,
+            },
+            StageSpec {
+                name: "Correlate".into(),
+                cost: PolynomialCost::linear(0.20, 4.0),
+                replicable: false,
+                home: NodeId(3),
+                output_bytes_per_track: 80.0,
+            },
+            StageSpec {
+                name: "EvalDecide".into(),
+                cost: eval_decide_cost(),
+                replicable: true,
+                home: NodeId(4),
+                output_bytes_per_track: 16.0,
+            },
+        ],
+    }
+}
+
+/// A secondary, lighter periodic task for multi-task experiments: a
+/// three-subtask surveillance-report pipeline (Sense → Track → Report)
+/// whose middle subtask is replicable. Homes overlap the AAW task's upper
+/// nodes, so the two tasks genuinely contend. The paper's model (§3) is a
+/// *set* of periodic tasks even though its evaluation uses one; this is
+/// the second member of that set.
+pub fn surveillance_task(id: TaskId) -> TaskSpec {
+    TaskSpec {
+        id,
+        name: "surveillance".into(),
+        period: SimDuration::from_secs(1),
+        deadline: SimDuration::from_millis(990),
+        track_bytes: 80,
+        stages: vec![
+            StageSpec {
+                name: "Sense".into(),
+                cost: PolynomialCost::linear(0.05, 1.0),
+                replicable: false,
+                home: NodeId(5),
+                output_bytes_per_track: 80.0,
+            },
+            StageSpec {
+                name: "Track".into(),
+                cost: PolynomialCost::new(0.004, 0.5, 0.0),
+                replicable: true,
+                home: NodeId(3),
+                output_bytes_per_track: 40.0,
+            },
+            StageSpec {
+                name: "Report".into(),
+                cost: PolynomialCost::linear(0.10, 2.0),
+                replicable: false,
+                home: NodeId(1),
+                output_bytes_per_track: 8.0,
+            },
+        ],
+    }
+}
+
+/// A reduced two-stage pipeline (Preprocess → Filter) used by unit tests
+/// and the buffer-delay profiler, where a full AAW run would be noise.
+pub fn two_stage_task() -> TaskSpec {
+    let full = aaw_task();
+    TaskSpec {
+        id: TaskId(0),
+        name: "aaw-2stage".into(),
+        period: full.period,
+        deadline: full.deadline,
+        track_bytes: full.track_bytes,
+        stages: vec![full.stages[1].clone(), full.stages[FILTER_STAGE].clone()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtds_sim::ids::SubtaskIdx;
+
+    #[test]
+    fn aaw_matches_table1_shape() {
+        let t = aaw_task();
+        assert_eq!(t.n_stages(), 5);
+        assert_eq!(t.period, SimDuration::from_secs(1));
+        assert_eq!(t.deadline, SimDuration::from_millis(990));
+        assert_eq!(t.track_bytes, 80);
+        assert_eq!(
+            t.replicable_stages(),
+            vec![
+                SubtaskIdx::from_index(FILTER_STAGE),
+                SubtaskIdx::from_index(EVAL_DECIDE_STAGE)
+            ],
+            "exactly subtasks 3 and 5 are replicable"
+        );
+        assert!(t.validate(6).is_ok());
+    }
+
+    #[test]
+    fn replicable_subtasks_are_paper_numbers_3_and_5() {
+        let t = aaw_task();
+        assert_eq!(t.stages[FILTER_STAGE].name, "Filter");
+        assert_eq!(SubtaskIdx::from_index(FILTER_STAGE).paper_number(), 3);
+        assert_eq!(t.stages[EVAL_DECIDE_STAGE].name, "EvalDecide");
+        assert_eq!(SubtaskIdx::from_index(EVAL_DECIDE_STAGE).paper_number(), 5);
+    }
+
+    #[test]
+    fn quadratic_stages_dominate_at_high_workload() {
+        let t = aaw_task();
+        let high = 17_500; // max workload of the sweep: 35 x 500 tracks
+        let filter = t.stages[FILTER_STAGE].cost.demand(high);
+        let linear_total: SimDuration = [0usize, 1, 3]
+            .iter()
+            .map(|&i| t.stages[i].cost.demand(high))
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        assert!(
+            filter > linear_total * 4,
+            "filter {filter} should dwarf linear stages {linear_total}"
+        );
+    }
+
+    #[test]
+    fn single_node_infeasible_at_max_feasible_with_replication() {
+        // The calibration contract: at the sweep's maximum workload the
+        // un-replicated pipeline exceeds the 990 ms deadline on CPU alone,
+        // while splitting the two quadratic stages five ways fits easily.
+        let t = aaw_task();
+        let d = 17_500u64;
+        let total: f64 = t
+            .stages
+            .iter()
+            .map(|s| s.cost.demand(d).as_millis_f64())
+            .sum();
+        assert!(total > 900.0, "serial CPU demand {total} ms");
+        let with_repl: f64 = t
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if s.replicable {
+                    let _ = i;
+                    s.cost.demand(d / 5).as_millis_f64()
+                } else {
+                    s.cost.demand(d).as_millis_f64()
+                }
+            })
+            .sum();
+        assert!(with_repl < 400.0, "replicated CPU demand {with_repl} ms");
+    }
+
+    #[test]
+    fn low_workload_is_trivially_feasible() {
+        let t = aaw_task();
+        let total: f64 = t
+            .stages
+            .iter()
+            .map(|s| s.cost.demand(500).as_millis_f64())
+            .sum();
+        assert!(total < 30.0, "500-track demand {total} ms");
+    }
+
+    #[test]
+    fn homes_are_distinct_leaving_a_spare() {
+        let t = aaw_task();
+        let mut homes: Vec<_> = t.stages.iter().map(|s| s.home).collect();
+        homes.sort();
+        homes.dedup();
+        assert_eq!(homes.len(), 5, "five distinct home nodes");
+        assert!(homes.iter().all(|h| h.index() < 5), "node 5 stays spare");
+    }
+
+    #[test]
+    fn surveillance_task_is_valid_and_lighter() {
+        let s = surveillance_task(TaskId(1));
+        assert!(s.validate(6).is_ok());
+        assert_eq!(s.n_stages(), 3);
+        assert_eq!(s.replicable_stages(), vec![SubtaskIdx(1)]);
+        // Much lighter than AAW at the same workload.
+        let aaw_total: f64 = aaw_task().stages.iter()
+            .map(|st| st.cost.demand(10_000).as_millis_f64()).sum();
+        let surv_total: f64 = s.stages.iter()
+            .map(|st| st.cost.demand(10_000).as_millis_f64()).sum();
+        assert!(surv_total < 0.5 * aaw_total, "{surv_total} vs {aaw_total}");
+    }
+
+    #[test]
+    fn two_stage_variant_is_consistent() {
+        let t = two_stage_task();
+        assert_eq!(t.n_stages(), 2);
+        assert_eq!(t.stages[1].name, "Filter");
+        assert!(t.stages[1].replicable);
+        assert!(t.validate(6).is_ok());
+    }
+}

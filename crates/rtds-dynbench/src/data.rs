@@ -1,0 +1,161 @@
+//! Profile-data persistence.
+//!
+//! A full profiling campaign takes simulated hours; its output — the
+//! latency grid per replicable subtask plus the buffer-delay samples — is
+//! worth keeping. [`ProfileData`] bundles it with the fitted models and
+//! round-trips through JSON.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use rtds_regression::buffer::{BufferDelayModel, BufferDelaySample};
+use rtds_regression::model::{ExecLatencyModel, LatencySample};
+
+/// A complete profiling campaign: raw samples and fitted models.
+#[derive(Debug, Clone, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ProfileData {
+    /// Execution-latency samples per profiled subtask, keyed by the
+    /// subtask's pipeline index (0-based).
+    pub exec_samples: BTreeMap<usize, Vec<LatencySample>>,
+    /// Fitted Eq. (3) models per subtask, same key.
+    pub exec_models: BTreeMap<usize, ExecLatencyModel>,
+    /// Buffer-delay samples.
+    pub buffer_samples: Vec<BufferDelaySample>,
+    /// Fitted Eq. (5) model.
+    pub buffer_model: Option<BufferDelayModel>,
+    /// Seed the campaign ran with, for provenance.
+    pub seed: u64,
+}
+
+impl ProfileData {
+    /// Fits (or re-fits) every model from the stored samples using the
+    /// paper's two-stage procedure. Subtasks whose samples cannot support
+    /// a fit are skipped; returns how many models were fitted.
+    pub fn fit_all(&mut self) -> usize {
+        let mut fitted = 0;
+        for (&stage, samples) in &self.exec_samples {
+            if let Ok(m) = ExecLatencyModel::fit_two_stage(samples) {
+                self.exec_models.insert(stage, m);
+                fitted += 1;
+            }
+        }
+        if let Ok(b) = BufferDelayModel::fit(&self.buffer_samples) {
+            self.buffer_model = Some(b);
+            fitted += 1;
+        }
+        fitted
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ProfileData is always serializable")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the profile to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a profile from a file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_grid() -> Vec<LatencySample> {
+        let mut out = Vec::new();
+        for &u in &[10.0, 40.0, 70.0] {
+            for d in (1..=6).map(|i| i as f64 * 2.0) {
+                out.push(LatencySample {
+                    d,
+                    u,
+                    latency_ms: (0.01 * u + 0.1) * d * d + (0.05 * u + 1.0) * d,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fit_all_fits_models_from_samples() {
+        let mut pd = ProfileData {
+            seed: 9,
+            ..Default::default()
+        };
+        pd.exec_samples.insert(2, sample_grid());
+        pd.buffer_samples = (1..=10)
+            .map(|i| BufferDelaySample {
+                total_tracks: 100.0 * i as f64,
+                delay_ms: 0.05 * i as f64,
+            })
+            .collect();
+        let n = pd.fit_all();
+        assert_eq!(n, 2);
+        assert!(pd.exec_models[&2].stats.r2 > 0.999);
+        assert!((pd.buffer_model.unwrap().k - 0.0005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_all_skips_unfittable_subtasks() {
+        let mut pd = ProfileData::default();
+        pd.exec_samples.insert(0, vec![]); // empty: cannot fit
+        pd.exec_samples.insert(1, sample_grid());
+        assert_eq!(pd.fit_all(), 1);
+        assert!(!pd.exec_models.contains_key(&0));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let mut pd = ProfileData {
+            seed: 1234,
+            ..Default::default()
+        };
+        pd.exec_samples.insert(4, sample_grid());
+        pd.fit_all();
+        let json = pd.to_json();
+        let back = ProfileData::from_json(&json).unwrap();
+        assert_eq!(back.seed, 1234);
+        assert_eq!(back.exec_samples[&4].len(), pd.exec_samples[&4].len());
+        let (a, b) = (back.exec_models[&4], pd.exec_models[&4]);
+        assert_eq!(a.a, b.a);
+        assert_eq!(a.b, b.b);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("rtds-dynbench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        let mut pd = ProfileData {
+            seed: 77,
+            ..Default::default()
+        };
+        pd.exec_samples.insert(2, sample_grid());
+        pd.save(&path).unwrap();
+        let back = ProfileData::load(&path).unwrap();
+        assert_eq!(back.seed, 77);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_malformed_json() {
+        let dir = std::env::temp_dir().join("rtds-dynbench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(ProfileData::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

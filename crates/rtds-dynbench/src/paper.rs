@@ -1,0 +1,135 @@
+//! The paper's published regression coefficients (Tables 2 and 3).
+//!
+//! The authors measured these on their DynBench testbed; we ship them
+//! verbatim so experiments can run with the paper's exact numbers as well
+//! as with coefficients re-fitted against our simulator (see
+//! [`crate::profile`]).
+//!
+//! ## Unit reconciliation
+//!
+//! The paper states Eq. (3) takes "CPU utilization in percentage", but
+//! with `u ∈ [0, 100]` the Table 2 coefficients produce *negative*
+//! latencies well inside the envelope plotted in Figs. 2–4 (e.g. subtask 3
+//! at `u = 80, d = 20` gives −83 ms). With `u` as a **fraction** in
+//! `[0, 1]` the same coefficients yield positive latencies of the
+//! magnitude the figures show (~700 ms at the top of Fig. 2's range), so
+//! the coefficients were evidently fitted against fractional utilization.
+//! The constants below are therefore rescaled (`a1/10⁴, a2/10², a3` and
+//! likewise for `b`) so that the exported models take utilization in
+//! percent like every other model in this repository. Even so, the
+//! paper's fitted surface is nearly flat in `u` — a limitation of their
+//! measured data that our re-fitted models do not share.
+
+use rtds_regression::buffer::BufferDelayModel;
+use rtds_regression::model::ExecLatencyModel;
+
+/// Table 2, subtask 3 (Filter), as printed: `a1, a2, a3` (fractional `u`).
+pub const FILTER_A_RAW: [f64; 3] = [-0.00155, 1.535e-05, 0.11816174];
+/// Table 2, subtask 3 (Filter), as printed: `b1, b2, b3` (fractional `u`).
+pub const FILTER_B_RAW: [f64; 3] = [0.0298276, -0.000285, 0.983699];
+/// Table 2, subtask 5 (EvalDecide), as printed: `a1, a2, a3`.
+pub const EVAL_DECIDE_A_RAW: [f64; 3] = [0.002123, -1.596e-05, 0.022324];
+/// Table 2, subtask 5 (EvalDecide), as printed: `b1, b2, b3`.
+pub const EVAL_DECIDE_B_RAW: [f64; 3] = [-0.023927, 0.000108, 1.443762];
+
+/// Table 3: buffer-delay slope `k` for both replicable subtasks, in ms per
+/// hundred tracks of total periodic workload (the paper leaves the unit
+/// implicit; per-track the delays it implies would exceed the period by
+/// orders of magnitude, so hundreds-of-tracks — Eq. (3)'s data unit — is
+/// the only consistent reading).
+pub const BUFFER_SLOPE_K: f64 = 0.7;
+
+/// Rescales printed (fractional-`u`) coefficients to percent-`u`.
+fn to_percent_units(c: [f64; 3]) -> [f64; 3] {
+    [c[0] / 1e4, c[1] / 1e2, c[2]]
+}
+
+/// Eq. (3) model with the paper's Table 2 coefficients for subtask 3
+/// (Filter), taking utilization in percent.
+pub fn filter_model() -> ExecLatencyModel {
+    ExecLatencyModel::from_coefficients(
+        to_percent_units(FILTER_A_RAW),
+        to_percent_units(FILTER_B_RAW),
+    )
+}
+
+/// Eq. (3) model with the paper's Table 2 coefficients for subtask 5
+/// (EvalDecide), taking utilization in percent.
+pub fn eval_decide_model() -> ExecLatencyModel {
+    ExecLatencyModel::from_coefficients(
+        to_percent_units(EVAL_DECIDE_A_RAW),
+        to_percent_units(EVAL_DECIDE_B_RAW),
+    )
+}
+
+/// Eq. (5) model with the paper's Table 3 slope, converted to ms/track.
+pub fn buffer_model() -> BufferDelayModel {
+    BufferDelayModel::from_slope(BUFFER_SLOPE_K / 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_model_is_positive_across_fig2_envelope() {
+        let m = filter_model();
+        // Fig. 2's regime: 80 % utilization, up to ~25 scale units of 300
+        // tracks = 75 hundreds of tracks.
+        for d in [5.0, 20.0, 50.0, 75.0] {
+            let p = m.predict_raw(d, 80.0);
+            assert!(p > 0.0, "predict_raw({d}, 80) = {p}");
+        }
+        // Latency at the top of Fig. 2's range lands in the hundreds of ms.
+        let p = m.predict(75.0, 80.0);
+        assert!((200.0..2_000.0).contains(&p), "predict(75, 80) = {p} ms");
+    }
+
+    #[test]
+    fn raw_percent_reading_would_go_negative_demonstrating_rescale_need() {
+        // Sanity check of the unit-reconciliation argument in the module
+        // docs: the printed coefficients with u in percent are negative
+        // inside the figure's envelope.
+        let wrong = ExecLatencyModel::from_coefficients(FILTER_A_RAW, FILTER_B_RAW);
+        assert!(wrong.predict_raw(20.0, 80.0) < 0.0);
+    }
+
+    #[test]
+    fn eval_decide_model_reasonable_at_fig3_regime() {
+        let m = eval_decide_model();
+        // Fig. 3: 60 % utilization, up to ~60 hundreds of tracks.
+        let p = m.predict(60.0, 60.0);
+        assert!((50.0..1_000.0).contains(&p), "predict(60, 60) = {p} ms");
+        assert!(m.predict(60.0, 60.0) > m.predict(10.0, 60.0));
+    }
+
+    #[test]
+    fn models_grow_with_data_size() {
+        for m in [filter_model(), eval_decide_model()] {
+            assert!(m.predict(40.0, 50.0) > m.predict(10.0, 50.0));
+            assert!(m.predict(10.0, 50.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rescaled_models_stay_positive_over_physical_utilizations() {
+        // In the rescaled reading, the negative a1 term only dominates at
+        // utilizations far above 100 % — i.e. never in operation. The
+        // whole physical domain is safe.
+        for m in [filter_model(), eval_decide_model()] {
+            for u in [0.0, 25.0, 50.0, 75.0, 100.0] {
+                for d in [1.0, 10.0, 100.0, 500.0] {
+                    assert!(m.predict_raw(d, u) > 0.0, "raw({d}, {u}) negative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_model_uses_table3_slope() {
+        let b = buffer_model();
+        // 1000 tracks = 10 hundreds -> 7 ms.
+        assert!((b.predict_ms(1_000.0) - 7.0).abs() < 1e-9);
+        assert_eq!(b.predict_ms(0.0), 0.0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Reports the quality impact of each DESIGN.md design choice by re-running
+//! the triangular evaluation scenario with one knob changed at a time.
+fn main() {
+    rtds_experiments::cli::run_figure_main(|cli| {
+        rtds_experiments::figures::ablations::ablations(&cli.options)
+    });
+}

@@ -1,0 +1,35 @@
+//! Runs the extension experiments beyond the paper's evaluation:
+//! survivability under node failures, multi-task management, online model
+//! refinement, scheduler sensitivity, and harsher workload patterns.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match rtds_experiments::cli::parse(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    use rtds_experiments::figures::extensions as ext;
+    let o = &cli.options;
+    for fig in [
+        ext::ext_survivability(o),
+        ext::ext_multitask(o),
+        ext::ext_online_refinement(o),
+        ext::ext_schedulers(o),
+        ext::ext_patterns(o),
+        ext::ext_control_latency(o),
+        ext::ext_seed_sensitivity(o),
+        ext::ext_asynchrony(o),
+        ext::ext_stage_breakdown(o),
+        ext::ext_metric_weights(o),
+        ext::ext_forecast_value(o),
+        ext::ext_decentralized(o),
+    ] {
+        println!("{}", fig.text);
+        if let Err(e) = fig.save_csvs(&o.out_dir) {
+            eprintln!("failed to write CSVs: {e}");
+            std::process::exit(1);
+        }
+    }
+}

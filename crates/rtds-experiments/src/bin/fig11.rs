@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig11 (evaluation sweep).
+fn main() {
+    rtds_experiments::cli::run_figure_main(|cli| {
+        rtds_experiments::figures::eval::fig11(&cli.options)
+    });
+}

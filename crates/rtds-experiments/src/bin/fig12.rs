@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig12 (evaluation sweep).
+fn main() {
+    rtds_experiments::cli::run_figure_main(|cli| {
+        rtds_experiments::figures::eval::fig12(&cli.options)
+    });
+}

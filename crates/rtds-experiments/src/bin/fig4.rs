@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig4 (profiled latencies and regression fits).
+fn main() {
+    rtds_experiments::cli::run_figure_main(|cli| {
+        rtds_experiments::figures::profile::fig4(&cli.options)
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 8 (workload patterns).
+fn main() {
+    rtds_experiments::cli::run_figure_main(|cli| {
+        rtds_experiments::figures::patterns::fig8(&cli.options)
+    });
+}

@@ -1,0 +1,32 @@
+//! Runs the full profiling campaign (the paper's §4.2.1 measurement step),
+//! fits every Eq. (3)/(5) model, and persists the raw samples plus fitted
+//! coefficients to `<out>/profile.json` for inspection and reuse.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match rtds_experiments::cli::parse(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("running the profiling campaign…");
+    let data = rtds_experiments::models::run_campaign();
+    for (stage, model) in &data.exec_models {
+        println!(
+            "stage {stage}: a = {:?}, b = {:?}, R2 = {:.4} over {} samples",
+            model.a, model.b, model.stats.r2, model.stats.n
+        );
+    }
+    if let Some(b) = data.buffer_model {
+        println!(
+            "buffer slope k = {:.4} ms/100 tracks (R2 = {:.4})",
+            b.k * 100.0,
+            b.stats.r2
+        );
+    }
+    std::fs::create_dir_all(&cli.options.out_dir).expect("create output dir");
+    let path = cli.options.out_dir.join("profile.json");
+    data.save(&path).expect("write profile");
+    eprintln!("wrote {}", path.display());
+}

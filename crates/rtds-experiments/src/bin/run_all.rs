@@ -1,0 +1,43 @@
+//! Regenerates every table and figure of the paper's evaluation section
+//! in one run; see EXPERIMENTS.md for the recorded outputs.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match rtds_experiments::cli::parse(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    use rtds_experiments::figures::{eval, patterns, profile, tables};
+    let o = &cli.options;
+    let figs = vec![
+        tables::table1(o),
+        tables::table2(o),
+        tables::table3(o),
+        profile::fig2(o),
+        profile::fig3(o),
+        profile::fig4(o),
+        patterns::fig8(o),
+        eval::fig9(o),
+        eval::fig10(o),
+        eval::fig11(o),
+        eval::fig12(o),
+        eval::fig13a(o, cli.extended),
+        eval::fig13b(o, cli.extended),
+    ];
+    let mut report = String::new();
+    for fig in figs {
+        println!("{}", fig.text);
+        report.push_str(&fig.text);
+        report.push('\n');
+        if let Err(e) = fig.save_csvs(&o.out_dir) {
+            eprintln!("failed to write CSVs: {e}");
+            std::process::exit(1);
+        }
+    }
+    std::fs::create_dir_all(&o.out_dir).expect("create output dir");
+    let report_path = o.out_dir.join("REPORT.txt");
+    std::fs::write(&report_path, report).expect("write report");
+    eprintln!("artifacts in {} (full text: {})", o.out_dir.display(), report_path.display());
+}

@@ -1,0 +1,130 @@
+//! Minimal argument parsing shared by the figure binaries.
+//!
+//! Flags: `--quick` (small grids), `--out <dir>` (CSV directory),
+//! `--threads <n>`, `--analytic` (skip profile fitting), `--extended`
+//! (fig13's longer workload axis). Kept hand-rolled: the dependency
+//! policy (DESIGN.md §5) admits no CLI crate and the needs are trivial.
+
+use std::path::PathBuf;
+
+use crate::figures::FigureOptions;
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Figure options derived from flags.
+    pub options: FigureOptions,
+    /// `--extended` was passed.
+    pub extended: bool,
+}
+
+/// Parses `args` (excluding argv\[0\]).
+///
+/// # Errors
+/// Returns a usage string on unknown or malformed flags.
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut options = FigureOptions::default();
+    let mut extended = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => options.quick = true,
+            "--analytic" => options.fitted_models = false,
+            "--extended" => extended = true,
+            "--out" => {
+                let dir = it.next().ok_or("--out needs a directory")?;
+                options.out_dir = PathBuf::from(dir);
+            }
+            "--threads" => {
+                let n = it
+                    .next()
+                    .ok_or("--threads needs a count")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                options.threads = n;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Cli { options, extended })
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    "usage: <figure-bin> [--quick] [--analytic] [--extended] [--out DIR] [--threads N]\n\
+     --quick     small grids / short runs\n\
+     --analytic  use closed-form latency models (skip the profiling campaign)\n\
+     --extended  extend the workload axis beyond the paper's range (fig13)\n\
+     --out DIR   CSV output directory (default: results)\n\
+     --threads N sweep parallelism"
+        .into()
+}
+
+/// Standard main-body for a figure binary: parse args, run, print, save.
+pub fn run_figure_main<F>(f: F)
+where
+    F: FnOnce(&Cli) -> crate::figures::FigureOutput,
+{
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let fig = f(&cli);
+    println!("{}", fig.text);
+    match fig.save_csvs(&cli.options.out_dir) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to write CSVs: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn default_parse_is_full_run() {
+        let c = parse(&[]).unwrap();
+        assert!(!c.options.quick);
+        assert!(c.options.fitted_models);
+        assert!(!c.extended);
+    }
+
+    #[test]
+    fn flags_are_recognized() {
+        let c = parse(&s(&["--quick", "--analytic", "--extended", "--out", "/tmp/x", "--threads", "3"]))
+            .unwrap();
+        assert!(c.options.quick);
+        assert!(!c.options.fitted_models);
+        assert!(c.extended);
+        assert_eq!(c.options.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(c.options.threads, 3);
+    }
+
+    #[test]
+    fn bad_flags_error_with_usage() {
+        assert!(parse(&s(&["--bogus"])).unwrap_err().contains("usage"));
+        assert!(parse(&s(&["--out"])).is_err());
+        assert!(parse(&s(&["--threads", "zero"])).is_err());
+        assert!(parse(&s(&["--threads", "0"])).is_err());
+        assert!(parse(&s(&["--help"])).is_err());
+    }
+}

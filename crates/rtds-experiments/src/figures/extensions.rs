@@ -1,0 +1,838 @@
+//! Extension experiments beyond the paper's evaluation.
+//!
+//! The paper's introduction motivates adaptive resource management with
+//! properties its evaluation never stresses: survivability under node
+//! loss, multiple concurrent missions, a-posteriori refinement of the
+//! a-priori models (\[RSYJ97\], its closest related work), and sensitivity
+//! to the node OS scheduler. Each experiment here exercises one of those
+//! axes with the same metrics as the paper's figures:
+//!
+//! * [`ext_survivability`] — node failures under each policy;
+//! * [`ext_multitask`] — two periodic tasks sharing the cluster, managed
+//!   by a [`CompositeManager`];
+//! * [`ext_online_refinement`] — a deliberately mis-calibrated predictor,
+//!   with and without RLS refinement;
+//! * [`ext_schedulers`] — round-robin (paper) vs FIFO vs a coarser slice;
+//! * [`ext_patterns`] — the harsher fluctuating patterns (step, burst,
+//!   sinusoid, random walk).
+
+use rtds_arm::config::ArmConfig;
+use rtds_arm::manager::{CompositeManager, ResourceManager};
+use rtds_arm::predictor::Predictor;
+use rtds_dynbench::app::{aaw_task, surveillance_task};
+use rtds_regression::buffer::{BufferDelayModel, CommDelayModel};
+use rtds_regression::model::ExecLatencyModel;
+use rtds_sim::cluster::{Cluster, ClusterConfig};
+use rtds_sim::ids::{LoadGenId, NodeId, TaskId};
+use rtds_sim::load::PoissonLoad;
+use rtds_sim::sched::SchedulerKind;
+use rtds_sim::time::SimDuration;
+use rtds_workloads::{Pattern, Triangular, WorkloadRange};
+
+use super::{FigureOptions, FigureOutput};
+use crate::models::LINK_BPS;
+use crate::report::{fmt_f, Table};
+use crate::scenario::{run_scenario, PatternSpec, PolicySpec, ScenarioConfig};
+
+fn base_scenario(opts: &FigureOptions, policy: PolicySpec, max: u64) -> ScenarioConfig {
+    let n = if opts.quick { 40 } else { 160 };
+    ScenarioConfig {
+        pattern: PatternSpec::Triangular { half_period: n / 8 },
+        policy,
+        workload: WorkloadRange::new(500, max),
+        n_periods: n,
+        ambient_util: 0.10,
+        seed: 0xE87,
+        scheduler: SchedulerKind::paper_baseline(),
+        online_refinement: false,
+        failures: Vec::new(),
+    }
+}
+
+/// Survivability: a replica-relevant node (p5, the spare) and a home node
+/// (p4, EvalDecide) die mid-run; compare policies and the no-management
+/// counterfactual.
+pub fn ext_survivability(opts: &FigureOptions) -> FigureOutput {
+    let predictor = opts.predictor();
+    let n = if opts.quick { 40 } else { 160 };
+    let mut table = Table::new(vec![
+        "policy",
+        "failures",
+        "missed_pct",
+        "avg_replicas",
+        "placements",
+    ]);
+    for policy in [PolicySpec::None, PolicySpec::Predictive, PolicySpec::NonPredictive] {
+        for (label, failures) in [
+            ("none", vec![]),
+            ("p5@1/3, p4@2/3", vec![(5u32, n / 3), (4u32, 2 * n / 3)]),
+        ] {
+            let mut cfg = base_scenario(opts, policy, 12_000);
+            cfg.failures = failures;
+            let r = run_scenario(&cfg, &predictor);
+            table.row(vec![
+                policy.name().to_string(),
+                label.to_string(),
+                fmt_f(r.summary.missed_deadline_pct),
+                fmt_f(r.summary.avg_replicas),
+                r.summary.placement_changes.to_string(),
+            ]);
+        }
+    }
+    let text = format!(
+        "Extension: survivability under node failures (triangular, max 12k tracks)\n\n{}\n\
+         Managed policies repair placements and keep the mission alive; the\n\
+         unmanaged run cannot outlive the EvalDecide home node.\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_survivability",
+        title: "Extension: survivability",
+        text,
+        tables: vec![("survivability".into(), table)],
+    }
+}
+
+/// Two periodic tasks sharing the cluster, each with its own manager.
+pub fn ext_multitask(opts: &FigureOptions) -> FigureOutput {
+    let n_periods = if opts.quick { 40 } else { 160 };
+    let comm = CommDelayModel::new(BufferDelayModel::from_slope(0.0005), LINK_BPS);
+    let mut table = Table::new(vec![
+        "configuration",
+        "aaw_missed_pct",
+        "surv_missed_pct",
+        "avg_cpu_pct",
+        "avg_net_pct",
+    ]);
+    for (label, managed) in [("unmanaged", false), ("predictive x2", true)] {
+        let mut cluster = Cluster::new(ClusterConfig::paper_baseline(
+            0x2A5C,
+            SimDuration::from_secs(n_periods),
+        ));
+        let aaw = aaw_task();
+        let surv = surveillance_task(TaskId(1));
+        let mut p1 = Triangular::new(WorkloadRange::new(500, 11_000), n_periods / 8);
+        // Offset phase: the surveillance load peaks when AAW is quiet.
+        let mut p2 = Triangular::new(WorkloadRange::new(500, 9_000), n_periods / 8);
+        let half = n_periods / 8;
+        cluster.add_task(aaw.clone(), Box::new(move |i| p1.tracks_at(i)));
+        cluster.add_task(surv.clone(), Box::new(move |i| p2.tracks_at(i + half)));
+        for nd in 0..6 {
+            cluster.add_load(Box::new(PoissonLoad::with_utilization(
+                LoadGenId(nd),
+                NodeId(nd),
+                0.08,
+                SimDuration::from_millis(2),
+            )));
+        }
+        if managed {
+            let m0 = ResourceManager::new(
+                ArmConfig::paper_predictive(),
+                rtds_arm::predictor::analytic_predictor(&aaw, comm),
+            );
+            let m1 = ResourceManager::new(
+                ArmConfig::paper_predictive(),
+                rtds_arm::predictor::analytic_predictor(&surv, comm),
+            )
+            .for_task(TaskId(1));
+            cluster.set_controller(Box::new(CompositeManager::new(vec![m0, m1])));
+        }
+        let out = cluster.run();
+        let split = |task: u64| {
+            let recs: Vec<_> = out
+                .metrics
+                .periods
+                .iter()
+                .enumerate()
+                // Period records interleave tasks in release order; AAW is
+                // even slots, surveillance odd (both release each second).
+                .filter(|(i, _)| (*i as u64) % 2 == task)
+                .map(|(_, p)| p)
+                .collect();
+            let decided = recs.iter().filter(|p| p.missed.is_some()).count();
+            let missed = recs.iter().filter(|p| p.missed == Some(true)).count();
+            if decided == 0 {
+                0.0
+            } else {
+                100.0 * missed as f64 / decided as f64
+            }
+        };
+        let cpu = 100.0 * out.metrics.cpu_lifetime_util.iter().sum::<f64>()
+            / out.metrics.cpu_lifetime_util.len() as f64;
+        table.row(vec![
+            label.to_string(),
+            fmt_f(split(0)),
+            fmt_f(split(1)),
+            fmt_f(cpu),
+            fmt_f(100.0 * out.metrics.net_lifetime_util),
+        ]);
+    }
+    let text = format!(
+        "Extension: two periodic tasks sharing the cluster (phase-offset triangulars)\n\n{}\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_multitask",
+        title: "Extension: multi-task management",
+        text,
+        tables: vec![("multitask".into(), table)],
+    }
+}
+
+/// Scales a predictor's Eq. (3) models by a factor (mis-calibration).
+fn miscalibrated(p: &Predictor, factor: f64) -> Predictor {
+    let mut out = p.clone();
+    for j in 0..p.n_stages() {
+        let m = p.exec_model(j);
+        out.set_exec_model(
+            j,
+            ExecLatencyModel::from_coefficients(
+                [m.a[0] * factor, m.a[1] * factor, m.a[2] * factor],
+                [m.b[0] * factor, m.b[1] * factor, m.b[2] * factor],
+            ),
+        );
+    }
+    out
+}
+
+/// Online refinement: the predictive manager starts from a 3x
+/// under-estimating model; with RLS refinement it recovers, without it
+/// it chronically under-replicates.
+pub fn ext_online_refinement(opts: &FigureOptions) -> FigureOutput {
+    let good = opts.predictor();
+    let over = miscalibrated(&good, 3.0);
+    let under = miscalibrated(&good, 1.0 / 3.0);
+    let mut table = Table::new(vec![
+        "predictor",
+        "refinement",
+        "missed_pct",
+        "avg_replicas",
+        "combined",
+    ]);
+    for (plabel, predictor) in [
+        ("calibrated", &good),
+        ("3x overestimating", &over),
+        ("3x underestimating", &under),
+    ] {
+        for refine in [false, true] {
+            let mut cfg = base_scenario(opts, PolicySpec::Predictive, 14_000);
+            cfg.online_refinement = refine;
+            let r = run_scenario(&cfg, predictor);
+            table.row(vec![
+                plabel.to_string(),
+                if refine { "RLS" } else { "off" }.to_string(),
+                fmt_f(r.summary.missed_deadline_pct),
+                fmt_f(r.summary.avg_replicas),
+                fmt_f(r.breakdown.combined),
+            ]);
+        }
+    }
+    let text = format!(
+        "Extension: online Eq.(3) refinement (recursive least squares)\n\n{}\n\
+         An over-forecasting prior makes Fig. 5 deterministically\n\
+         over-replicate; an under-forecasting one stops too early and then\n\
+         oscillates on the monitor's feedback. RLS refinement absorbs live\n\
+         observations and pulls both back toward calibrated behaviour.\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_online",
+        title: "Extension: online model refinement",
+        text,
+        tables: vec![("online".into(), table)],
+    }
+}
+
+/// Scheduler sensitivity: the paper's 1 ms round-robin vs a coarse 10 ms
+/// slice vs FIFO run-to-completion.
+pub fn ext_schedulers(opts: &FigureOptions) -> FigureOutput {
+    let predictor = opts.predictor();
+    let mut table = Table::new(vec![
+        "scheduler",
+        "missed_pct",
+        "avg_replicas",
+        "combined",
+    ]);
+    for (label, sched) in [
+        ("round-robin 1ms (paper)", SchedulerKind::RoundRobin { quantum_us: 1_000 }),
+        ("round-robin 10ms", SchedulerKind::RoundRobin { quantum_us: 10_000 }),
+        ("fifo", SchedulerKind::Fifo),
+    ] {
+        let mut cfg = base_scenario(opts, PolicySpec::Predictive, 12_000);
+        cfg.scheduler = sched;
+        let r = run_scenario(&cfg, &predictor);
+        table.row(vec![
+            label.to_string(),
+            fmt_f(r.summary.missed_deadline_pct),
+            fmt_f(r.summary.avg_replicas),
+            fmt_f(r.breakdown.combined),
+        ]);
+    }
+    let text = format!(
+        "Extension: CPU-scheduler sensitivity (predictive policy)\n\n{}\n\
+         The Eq.(3) models were profiled under round-robin; other policies\n\
+         change the latency-vs-utilization law and stress the forecast.\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_schedulers",
+        title: "Extension: scheduler sensitivity",
+        text,
+        tables: vec![("schedulers".into(), table)],
+    }
+}
+
+/// Harsher fluctuating patterns than the paper's triangle.
+pub fn ext_patterns(opts: &FigureOptions) -> FigureOutput {
+    let predictor = opts.predictor();
+    let n = if opts.quick { 40 } else { 160 };
+    let patterns: Vec<(&str, PatternSpec)> = vec![
+        ("step", PatternSpec::Step { low: n / 16, high: n / 16 }),
+        ("burst", PatternSpec::Burst { every: n / 8, width: n / 32 + 1 }),
+        ("sinusoid", PatternSpec::Sinusoid { wavelength: n / 4 }),
+        ("random-walk", PatternSpec::RandomWalk { max_step: 900, seed: 7 }),
+    ];
+    let mut table = Table::new(vec![
+        "pattern",
+        "policy",
+        "missed_pct",
+        "avg_replicas",
+        "combined",
+    ]);
+    for (name, pattern) in &patterns {
+        for policy in [PolicySpec::Predictive, PolicySpec::NonPredictive] {
+            let mut cfg = base_scenario(opts, policy, 13_000);
+            cfg.pattern = *pattern;
+            let r = run_scenario(&cfg, &predictor);
+            table.row(vec![
+                name.to_string(),
+                policy.name().to_string(),
+                fmt_f(r.summary.missed_deadline_pct),
+                fmt_f(r.summary.avg_replicas),
+                fmt_f(r.breakdown.combined),
+            ]);
+        }
+    }
+    let text = format!(
+        "Extension: harsher fluctuating workload patterns\n\n{}\n\
+         The paper's conclusion (predictive wins under fluctuation) under\n\
+         square-wave, burst, sinusoid, and random-walk loads.\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_patterns",
+        title: "Extension: harsher workload patterns",
+        text,
+        tables: vec![("patterns".into(), table)],
+    }
+}
+
+/// Control-latency sensitivity: how missed deadlines grow as the
+/// manager's reaction latency increases (EXPERIMENTS.md deviation 1: the
+/// paper's middleware reacted more slowly than our idealized per-period
+/// loop, which is why its Figs. 9a/11a/12a show nonzero miss rates).
+pub fn ext_control_latency(opts: &FigureOptions) -> FigureOutput {
+    use rtds_arm::manager::ResourceManager as RM;
+    let n = if opts.quick { 40 } else { 160 };
+    let mut table = Table::new(vec![
+        "act_every (periods)",
+        "policy",
+        "missed_pct",
+        "avg_replicas",
+    ]);
+    for act_every in [1u32, 2, 3, 5] {
+        for (policy, base) in [
+            (PolicySpec::Predictive, ArmConfig::paper_predictive()),
+            (PolicySpec::NonPredictive, ArmConfig::paper_nonpredictive()),
+        ] {
+            let mut arm = base;
+            arm.act_every = act_every;
+            let mut cluster = Cluster::new(ClusterConfig::paper_baseline(
+                0xC7A ^ u64::from(act_every),
+                SimDuration::from_secs(n),
+            ));
+            // A square wave: instantaneous min->max jumps punish slow
+            // control far harder than the paper's ramps (whose per-period
+            // deltas a per-period loop absorbs without misses).
+            let phase = (n / 16).max(2);
+            let mut pattern = rtds_workloads::Step::new(
+                WorkloadRange::new(500, 15_000),
+                phase,
+                phase,
+            );
+            cluster.add_task(aaw_task(), Box::new(move |i| pattern.tracks_at(i)));
+            for nd in 0..6 {
+                cluster.add_load(Box::new(PoissonLoad::with_utilization(
+                    LoadGenId(nd),
+                    NodeId(nd),
+                    0.10,
+                    SimDuration::from_millis(2),
+                )));
+            }
+            cluster.set_controller(Box::new(RM::new(arm, opts.predictor())));
+            let s = cluster.run().metrics.summarize(&[2, 4]);
+            table.row(vec![
+                act_every.to_string(),
+                policy.name().to_string(),
+                fmt_f(s.missed_deadline_pct),
+                fmt_f(s.avg_replicas),
+            ]);
+        }
+    }
+    let text = format!(
+        "Extension: control-latency sensitivity (square wave, max 15k tracks)\n\n{}\n\
+         With multi-period reaction latency the paper's Fig. 9a shape\n\
+         (nonzero, workload-driven miss rates) emerges.\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_control_latency",
+        title: "Extension: control latency",
+        text,
+        tables: vec![("control_latency".into(), table)],
+    }
+}
+
+/// Seed sensitivity: the paper draws each data point from "a single
+/// experiment"; this re-runs representative sweep points under several
+/// seeds and reports the spread, quantifying how much of any observed gap
+/// is noise.
+pub fn ext_seed_sensitivity(opts: &FigureOptions) -> FigureOutput {
+    let predictor = opts.predictor();
+    let seeds: &[u64] = if opts.quick {
+        &[1, 2, 3]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
+    let units: &[u64] = &[20, 30];
+    let mut table = Table::new(vec![
+        "max_units",
+        "policy",
+        "combined_mean",
+        "combined_sd",
+        "min",
+        "max",
+    ]);
+    for &u in units {
+        for policy in [PolicySpec::Predictive, PolicySpec::NonPredictive] {
+            let vals: Vec<f64> = seeds
+                .iter()
+                .map(|&s| {
+                    let mut cfg = base_scenario(opts, policy, u * 500);
+                    cfg.seed = s;
+                    run_scenario(&cfg, &predictor).breakdown.combined
+                })
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            table.row(vec![
+                u.to_string(),
+                policy.name().to_string(),
+                fmt_f(mean),
+                fmt_f(var.sqrt()),
+                fmt_f(min),
+                fmt_f(max),
+            ]);
+        }
+    }
+    let text = format!(
+        "Extension: seed sensitivity of the combined metric ({} seeds per point)\n\n{}\n\
+         If the predictive-vs-non-predictive gap exceeds a few standard\n\
+         deviations, the paper's single-experiment points are trustworthy.\n",
+        seeds.len(),
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_seeds",
+        title: "Extension: seed sensitivity",
+        text,
+        tables: vec![("seeds".into(), table)],
+    }
+}
+
+/// Asynchrony stressors: release jitter and clock skew, on vs off.
+pub fn ext_asynchrony(opts: &FigureOptions) -> FigureOutput {
+    use rtds_sim::clock::ClockConfig;
+    let n = if opts.quick { 40 } else { 160 };
+    let mut table = Table::new(vec![
+        "arrivals",
+        "clocks",
+        "missed_pct",
+        "p95_latency_ms",
+        "avg_replicas",
+    ]);
+    for (alabel, jitter_us) in [("periodic", 0u64), ("jittered <=150ms", 150_000)] {
+        for (clabel, clock) in [("perfect", ClockConfig::perfect()), ("LAN skew", ClockConfig::lan_default())] {
+            let mut ccfg = ClusterConfig::paper_baseline(0xA57, SimDuration::from_secs(n));
+            ccfg.release_jitter_us = jitter_us;
+            ccfg.clock = clock;
+            let mut cluster = Cluster::new(ccfg);
+            let mut pattern = Triangular::new(WorkloadRange::new(500, 13_000), n / 8);
+            cluster.add_task(aaw_task(), Box::new(move |i| pattern.tracks_at(i)));
+            for nd in 0..6 {
+                cluster.add_load(Box::new(PoissonLoad::with_utilization(
+                    LoadGenId(nd),
+                    NodeId(nd),
+                    0.10,
+                    SimDuration::from_millis(2),
+                )));
+            }
+            cluster.set_controller(Box::new(ResourceManager::new(
+                ArmConfig::paper_predictive(),
+                opts.predictor(),
+            )));
+            let out = cluster.run();
+            let s = out.metrics.summarize(&[2, 4]);
+            let p95 = out
+                .metrics
+                .latency_distribution()
+                .map(|d| d.p95_ms)
+                .unwrap_or(0.0);
+            table.row(vec![
+                alabel.to_string(),
+                clabel.to_string(),
+                fmt_f(s.missed_deadline_pct),
+                fmt_f(p95),
+                fmt_f(s.avg_replicas),
+            ]);
+        }
+    }
+    let text = format!(
+        "Extension: asynchrony stressors (release jitter, clock skew)\n\n{}\n\
+         The algorithms assume only bounded skew and tolerate aperiodic\n\
+         arrivals; deadlines are measured from actual arrival.\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_asynchrony",
+        title: "Extension: asynchrony stressors",
+        text,
+        tables: vec![("asynchrony".into(), table)],
+    }
+}
+
+/// Budget breakdown: where the 990 ms end-to-end deadline goes, per
+/// stage, at three workload levels (predictive policy).
+pub fn ext_stage_breakdown(opts: &FigureOptions) -> FigureOutput {
+    let predictor = opts.predictor();
+    let task = aaw_task();
+    let mut table = Table::new(vec![
+        "max_tracks",
+        "stage",
+        "mean_exec_ms",
+        "mean_msg_ms",
+    ]);
+    for max in [2_000u64, 9_000, 16_000] {
+        let cfg = base_scenario(opts, PolicySpec::Predictive, max);
+        let r = run_scenario(&cfg, &predictor);
+        for (j, (exec, msg)) in r.metrics.mean_stage_breakdown(0).iter().enumerate() {
+            table.row(vec![
+                max.to_string(),
+                format!("{} ({})", j + 1, task.stages[j].name),
+                fmt_f(*exec),
+                fmt_f(*msg),
+            ]);
+        }
+    }
+    let text = format!(
+        "Extension: per-stage latency breakdown (triangular, predictive)\n\n{}\n\
+         The quadratic subtasks (Filter, EvalDecide) dominate at high load\n\
+         until replication flattens them; message delays grow linearly with\n\
+         the stream and become the floor replication cannot remove.\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_breakdown",
+        title: "Extension: stage latency breakdown",
+        text,
+        tables: vec![("breakdown".into(), table)],
+    }
+}
+
+/// Metric-weight robustness: does the paper's conclusion (predictive wins
+/// under fluctuating load) survive non-equal component weights?
+pub fn ext_metric_weights(opts: &FigureOptions) -> FigureOutput {
+    use rtds_arm::metrics::{combined_metric_weighted, MetricWeights};
+    let predictor = opts.predictor();
+    let mut table = Table::new(vec![
+        "weighting",
+        "predictive",
+        "non-predictive",
+        "winner",
+    ]);
+    let mut p_cfg = base_scenario(opts, PolicySpec::Predictive, 14_000);
+    let mut n_cfg = base_scenario(opts, PolicySpec::NonPredictive, 14_000);
+    p_cfg.n_periods = if opts.quick { 40 } else { 200 };
+    n_cfg.n_periods = p_cfg.n_periods;
+    let p = run_scenario(&p_cfg, &predictor);
+    let n = run_scenario(&n_cfg, &predictor);
+    for (label, w) in [
+        ("equal (paper)", MetricWeights::paper()),
+        ("timeliness-dominant (10x misses)", MetricWeights::timeliness_dominant()),
+        ("resource-dominant (5x replicas)", MetricWeights::resource_dominant()),
+    ] {
+        let pv = combined_metric_weighted(&p.summary, 6, &w);
+        let nv = combined_metric_weighted(&n.summary, 6, &w);
+        table.row(vec![
+            label.to_string(),
+            fmt_f(pv),
+            fmt_f(nv),
+            if pv <= nv { "predictive" } else { "non-predictive" }.to_string(),
+        ]);
+    }
+    let text = format!(
+        "Extension: combined-metric weight robustness (triangular, max 14k)\n\n{}\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_weights",
+        title: "Extension: metric-weight robustness",
+        text,
+        tables: vec![("weights".into(), table)],
+    }
+}
+
+/// Forecast value: predictive vs the no-forecast *incremental* baseline
+/// (one least-utilized replica per round) vs Fig. 7's all-at-once
+/// baseline. If incremental matched predictive, the paper's win would be
+/// incrementality, not prediction; the replica-count comparison answers
+/// that directly.
+pub fn ext_forecast_value(opts: &FigureOptions) -> FigureOutput {
+    let predictor = opts.predictor();
+    let mut table = Table::new(vec![
+        "policy",
+        "max_units",
+        "missed_pct",
+        "avg_replicas",
+        "placements",
+        "combined",
+    ]);
+    let n = if opts.quick { 40 } else { 160 };
+    for (pat_label, pattern, units_list) in [
+        (
+            "triangular",
+            PatternSpec::Triangular { half_period: n / 8 },
+            [22u64, 30],
+        ),
+        (
+            "square-wave",
+            PatternSpec::Step { low: n / 16, high: n / 16 },
+            [22u64, 30],
+        ),
+    ] {
+        for units in units_list {
+            for policy in [
+                PolicySpec::Predictive,
+                PolicySpec::Incremental,
+                PolicySpec::NonPredictive,
+            ] {
+                let mut cfg = base_scenario(opts, policy, units * 500);
+                cfg.pattern = pattern;
+                let r = run_scenario(&cfg, &predictor);
+                table.row(vec![
+                    format!("{pat_label}/{}", policy.name()),
+                    units.to_string(),
+                    fmt_f(r.summary.missed_deadline_pct),
+                    fmt_f(r.summary.avg_replicas),
+                    r.summary.placement_changes.to_string(),
+                    fmt_f(r.breakdown.combined),
+                ]);
+            }
+        }
+    }
+    let text = format!(
+        "Extension: the value of forecasting (predictive vs no-forecast incremental)\n\n{}\n\
+         The incremental baseline shares the predictive algorithm's\n\
+         least-utilized, one-at-a-time allocation but not its Eq.(3)/(4)\n\
+         forecast; the difference between the two is the forecast's worth.\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_forecast_value",
+        title: "Extension: forecast value",
+        text,
+        tables: vec![("forecast_value".into(), table)],
+    }
+}
+
+/// Decentralization cost: the centralized manager vs independent
+/// per-stage agents with increasingly stale utilization state.
+pub fn ext_decentralized(opts: &FigureOptions) -> FigureOutput {
+    use rtds_arm::decentralized::DecentralizedManager;
+    let n = if opts.quick { 40 } else { 160 };
+    let mut table = Table::new(vec![
+        "manager",
+        "missed_pct",
+        "avg_replicas",
+        "placements",
+        "combined",
+    ]);
+    let run = |controller: Box<dyn rtds_sim::control::Controller>, square: bool| {
+        let mut cluster = Cluster::new(ClusterConfig::paper_baseline(
+            0xDEC0u64,
+            SimDuration::from_secs(n),
+        ));
+        let workload: Box<dyn FnMut(u64) -> u64 + Send> = if square {
+            let mut p = rtds_workloads::Step::new(
+                WorkloadRange::new(500, 15_500),
+                (n / 16).max(2),
+                (n / 16).max(2),
+            );
+            Box::new(move |i| p.tracks_at(i))
+        } else {
+            let mut p = Triangular::new(WorkloadRange::new(500, 13_000), n / 8);
+            Box::new(move |i| p.tracks_at(i))
+        };
+        cluster.add_task(aaw_task(), workload);
+        for nd in 0..6 {
+            cluster.add_load(Box::new(PoissonLoad::with_utilization(
+                LoadGenId(nd),
+                NodeId(nd),
+                0.10,
+                SimDuration::from_millis(2),
+            )));
+        }
+        cluster.set_controller(controller);
+        let s = cluster.run().metrics.summarize(&[2, 4]);
+        (s, rtds_arm::metrics::combined_breakdown(&s, 6).combined)
+    };
+    for square in [false, true] {
+        let pat = if square { "square" } else { "triangular" };
+        let (s, c) = run(
+            Box::new(ResourceManager::new(
+                ArmConfig::paper_predictive(),
+                opts.predictor(),
+            )),
+            square,
+        );
+        table.row(vec![
+            format!("{pat}/centralized (paper)"),
+            fmt_f(s.missed_deadline_pct),
+            fmt_f(s.avg_replicas),
+            s.placement_changes.to_string(),
+            fmt_f(c),
+        ]);
+        for staleness in [0usize, 2, 5] {
+            let (s, c) = run(
+                Box::new(DecentralizedManager::new(
+                    ArmConfig::paper_predictive(),
+                    opts.predictor(),
+                    staleness,
+                )),
+                square,
+            );
+            table.row(vec![
+                format!("{pat}/decentralized, staleness {staleness}"),
+                fmt_f(s.missed_deadline_pct),
+                fmt_f(s.avg_replicas),
+                s.placement_changes.to_string(),
+                fmt_f(c),
+            ]);
+        }
+    }
+    let text = format!(
+        "Extension: decentralization (per-stage agents, fixed budgets, stale state)\n\n{}\n\
+         Independent agents lose the coordinated per-action EQF\n\
+         re-assignment; what that coordination buys — conservatism vs\n\
+         resource frugality — is read off the miss/replica columns.\n",
+        table.render()
+    );
+    FigureOutput {
+        id: "ext_decentralized",
+        title: "Extension: decentralization cost",
+        text,
+        tables: vec![("decentralized".into(), table)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(tag: &str) -> FigureOptions {
+        FigureOptions::quick_for_tests(tag)
+    }
+
+    #[test]
+    fn survivability_covers_policy_failure_matrix() {
+        let f = ext_survivability(&opts("surv"));
+        assert_eq!(f.tables[0].1.len(), 6, "3 policies x 2 failure plans");
+    }
+
+    #[test]
+    fn multitask_reports_both_tasks() {
+        let f = ext_multitask(&opts("multi"));
+        assert_eq!(f.tables[0].1.len(), 2);
+        assert!(f.text.contains("aaw_missed_pct"));
+    }
+
+    #[test]
+    fn online_refinement_matrix_is_complete() {
+        let f = ext_online_refinement(&opts("online"));
+        assert_eq!(f.tables[0].1.len(), 6);
+        assert!(f.text.contains("RLS"));
+    }
+
+    #[test]
+    fn scheduler_comparison_includes_paper_baseline() {
+        let f = ext_schedulers(&opts("sched"));
+        assert_eq!(f.tables[0].1.len(), 3);
+        assert!(f.text.contains("round-robin 1ms (paper)"));
+    }
+
+    #[test]
+    fn pattern_suite_compares_policies() {
+        let f = ext_patterns(&opts("pat"));
+        assert_eq!(f.tables[0].1.len(), 8, "4 patterns x 2 policies");
+    }
+
+    #[test]
+    fn control_latency_sweep_covers_grid() {
+        let f = ext_control_latency(&opts("lat"));
+        assert_eq!(f.tables[0].1.len(), 8, "4 latencies x 2 policies");
+    }
+
+    #[test]
+    fn seed_sensitivity_reports_spread() {
+        let f = ext_seed_sensitivity(&opts("seeds"));
+        assert_eq!(f.tables[0].1.len(), 4, "2 units x 2 policies");
+        assert!(f.text.contains("combined_sd"));
+    }
+
+    #[test]
+    fn asynchrony_matrix_is_complete() {
+        let f = ext_asynchrony(&opts("async"));
+        assert_eq!(f.tables[0].1.len(), 4, "2 arrival modes x 2 clock modes");
+        assert!(f.text.contains("p95_latency_ms"));
+    }
+
+    #[test]
+    fn stage_breakdown_covers_all_stages_and_loads() {
+        let f = ext_stage_breakdown(&opts("breakdown"));
+        assert_eq!(f.tables[0].1.len(), 15, "3 loads x 5 stages");
+        assert!(f.text.contains("Filter"));
+    }
+
+    #[test]
+    fn decentralized_comparison_has_four_rows() {
+        let f = ext_decentralized(&opts("dec"));
+        assert_eq!(f.tables[0].1.len(), 8, "2 patterns x 4 managers");
+        assert!(f.text.contains("centralized (paper)"));
+    }
+
+    #[test]
+    fn forecast_value_compares_three_policies() {
+        let f = ext_forecast_value(&opts("fv"));
+        assert_eq!(f.tables[0].1.len(), 12, "2 patterns x 2 units x 3 policies");
+        assert!(f.text.contains("incremental"));
+    }
+
+    #[test]
+    fn metric_weights_table_names_a_winner_per_row() {
+        let f = ext_metric_weights(&opts("weights"));
+        assert_eq!(f.tables[0].1.len(), 3);
+        assert!(f.text.contains("timeliness-dominant"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Figures 2–4: profiled execution latencies and their regression fits.
+//!
+//! * Fig. 2 — Filter latency vs data size at 80 % CPU utilization, showing
+//!   the measured series `y`, the per-utilization quadratic fit `Y`, and
+//!   the combined Eq. (3) surface `Y−` evaluated at that utilization.
+//! * Fig. 3 — the same for EvalDecide at 60 %.
+//! * Fig. 4 — the full Filter latency surface over (utilization × data
+//!   size).
+
+use rtds_dynbench::app::{aaw_task, EVAL_DECIDE_STAGE, FILTER_STAGE};
+use rtds_dynbench::profile::{profile_execution, ProfileConfig};
+use rtds_regression::model::ExecLatencyModel;
+use rtds_regression::polyfit::Polynomial;
+
+use super::{FigureOptions, FigureOutput};
+use crate::report::{ascii_chart, fmt_f, Series, Table};
+
+fn profile_grid(opts: &FigureOptions, target_u: f64) -> ProfileConfig {
+    let mut utils = if opts.quick {
+        vec![10.0, 40.0, 70.0]
+    } else {
+        vec![10.0, 25.0, 40.0, 60.0, 80.0]
+    };
+    if !utils.iter().any(|&u| (u - target_u).abs() < 1e-9) {
+        utils.push(target_u);
+        utils.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    }
+    ProfileConfig {
+        utilizations_pct: utils,
+        data_sizes: if opts.quick {
+            vec![1_000, 3_000, 6_000, 9_000]
+        } else {
+            vec![500, 1_500, 3_000, 4_500, 6_000, 7_500, 9_000, 11_000, 13_500, 17_500]
+        },
+        periods_per_point: if opts.quick { 3 } else { 5 },
+        warmup_periods: 2,
+        seed: 0xF16,
+    }
+}
+
+/// Shared implementation of Figs. 2 and 3.
+fn latency_figure(
+    id: &'static str,
+    title: &'static str,
+    stage: usize,
+    target_u: f64,
+    opts: &FigureOptions,
+) -> FigureOutput {
+    let task = aaw_task();
+    let cfg = profile_grid(opts, target_u);
+    let samples = profile_execution(task.stages[stage].cost, &cfg);
+
+    // The measured series at the target utilization (blue "y" in the paper).
+    let at_u: Vec<_> = samples
+        .iter()
+        .filter(|s| (s.u - target_u).abs() < 1e-9)
+        .collect();
+    // Per-utilization second-order fit (red "Y").
+    let xs: Vec<f64> = at_u.iter().map(|s| s.d).collect();
+    let ys: Vec<f64> = at_u.iter().map(|s| s.latency_ms).collect();
+    let per_u = Polynomial::fit_quadratic_origin(&xs, &ys).expect("per-utilization fit");
+    // Combined Eq. (3) fit over all utilizations (green "Y−").
+    let combined = ExecLatencyModel::fit_two_stage(&samples).expect("combined fit");
+
+    let mut table = Table::new(vec![
+        "data_size_tracks",
+        "measured_ms",
+        "per_util_fit_ms",
+        "combined_fit_ms",
+    ]);
+    let mut measured_series = Vec::new();
+    let mut fit_series = Vec::new();
+    for s in &at_u {
+        let y_fit = per_u.eval(s.d);
+        let y_comb = combined.predict(s.d, target_u);
+        table.row(vec![
+            format!("{}", (s.d * 100.0).round() as u64),
+            fmt_f(s.latency_ms),
+            fmt_f(y_fit),
+            fmt_f(y_comb),
+        ]);
+        measured_series.push((s.d, s.latency_ms));
+        fit_series.push((s.d, y_comb));
+    }
+
+    let chart = ascii_chart(
+        &[
+            Series {
+                label: "measured",
+                points: measured_series,
+            },
+            Series {
+                label: "combined-fit",
+                points: fit_series,
+            },
+        ],
+        64,
+        16,
+    );
+    let text = format!(
+        "{title}\n\n{}\n{}\nper-utilization fit R2 = {:.4}   combined Eq.(3) fit R2 = {:.4}\n",
+        table.render(),
+        chart,
+        per_u.stats.r2,
+        combined.stats.r2,
+    );
+    FigureOutput {
+        id,
+        title,
+        text,
+        tables: vec![("latency".into(), table)],
+    }
+}
+
+/// Fig. 2: Filter at 80 % CPU utilization.
+pub fn fig2(opts: &FigureOptions) -> FigureOutput {
+    latency_figure(
+        "fig2",
+        "Figure 2: Execution latencies of Filter at 80% CPU utilization",
+        FILTER_STAGE,
+        80.0,
+        opts,
+    )
+}
+
+/// Fig. 3: EvalDecide at 60 % CPU utilization.
+pub fn fig3(opts: &FigureOptions) -> FigureOutput {
+    latency_figure(
+        "fig3",
+        "Figure 3: Execution latencies of EvalDecide at 60% CPU utilization",
+        EVAL_DECIDE_STAGE,
+        60.0,
+        opts,
+    )
+}
+
+/// Fig. 4: the full Filter latency surface over (utilization, data size).
+pub fn fig4(opts: &FigureOptions) -> FigureOutput {
+    let task = aaw_task();
+    let cfg = profile_grid(opts, 80.0);
+    let samples = profile_execution(task.stages[FILTER_STAGE].cost, &cfg);
+    let model = ExecLatencyModel::fit_two_stage(&samples).expect("surface fit");
+
+    let mut table = Table::new(vec![
+        "cpu_util_pct",
+        "data_size_tracks",
+        "measured_ms",
+        "model_ms",
+    ]);
+    for s in &samples {
+        table.row(vec![
+            fmt_f(s.u),
+            format!("{}", (s.d * 100.0).round() as u64),
+            fmt_f(s.latency_ms),
+            fmt_f(model.predict(s.d, s.u)),
+        ]);
+    }
+    let text = format!(
+        "Figure 4: Filter execution-latency surface over CPU utilization x data size\n\n{}\nEq.(3) surface fit: R2 = {:.4}, RMSE = {:.2} ms over {} samples\ncoefficients a = {:?}\n             b = {:?}\n",
+        table.render(),
+        model.stats.r2,
+        model.stats.rmse,
+        model.stats.n,
+        model.a,
+        model.b,
+    );
+    FigureOutput {
+        id: "fig4",
+        title: "Figure 4: Filter latency surface",
+        text,
+        tables: vec![("surface".into(), table)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_produces_monotone_measured_series_and_good_fit() {
+        let opts = FigureOptions::quick_for_tests("fig2");
+        let f = fig2(&opts);
+        assert_eq!(f.id, "fig2");
+        assert_eq!(f.tables.len(), 1);
+        let t = &f.tables[0].1;
+        assert!(t.len() >= 4, "one row per data size");
+        assert!(f.text.contains("combined Eq.(3) fit R2"));
+        // R2 values embedded in the text should be high.
+        let r2: f64 = f
+            .text
+            .split("combined Eq.(3) fit R2 = ")
+            .nth(1)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(r2 > 0.9, "combined fit r2 {r2}");
+    }
+
+    #[test]
+    fn fig3_targets_eval_decide_at_60() {
+        let opts = FigureOptions::quick_for_tests("fig3");
+        let f = fig3(&opts);
+        assert!(f.title.contains("EvalDecide"));
+        assert!(f.title.contains("60%"));
+        assert!(!f.tables[0].1.is_empty());
+    }
+
+    #[test]
+    fn fig4_covers_the_full_grid() {
+        let opts = FigureOptions::quick_for_tests("fig4");
+        let f = fig4(&opts);
+        // Quick grid: 3 utils (+80 target) x 4 sizes = 16 rows.
+        assert_eq!(f.tables[0].1.len(), 16);
+        assert!(f.text.contains("coefficients a"));
+    }
+}

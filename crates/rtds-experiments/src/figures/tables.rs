@@ -1,0 +1,161 @@
+//! Tables 1–3: baseline parameters and regression coefficients.
+
+use rtds_dynbench::app::{aaw_task, EVAL_DECIDE_STAGE, FILTER_STAGE};
+use rtds_dynbench::paper;
+use rtds_regression::model::ExecLatencyModel;
+
+use super::{FigureOptions, FigureOutput};
+use crate::report::Table;
+
+/// Table 1: the baseline parameters of the experimental study — ours,
+/// which reproduce the paper's.
+pub fn table1(_opts: &FigureOptions) -> FigureOutput {
+    let task = aaw_task();
+    let mut t = Table::new(vec!["parameter", "value"]);
+    t.row(vec!["Number of nodes", "6"]);
+    t.row(vec![
+        "CPU scheduler at each node",
+        "Round-Robin (time slice = 1 ms)",
+    ]);
+    t.row(vec![
+        "Network",
+        "Shared Ethernet segment (100 Mbps)",
+    ]);
+    t.row(vec!["Data item (track) size", "80 bytes"]);
+    t.row(vec!["Data arrival period", "1 s"]);
+    t.row(vec![
+        "Relative end-to-end deadline",
+        &format!("{} ms", task.deadline.as_millis_f64()),
+    ]);
+    t.row(vec!["Number of periodic tasks", "1"]);
+    t.row(vec![
+        "Number of subtasks per task",
+        &task.n_stages().to_string(),
+    ]);
+    t.row(vec![
+        "Number of replicable subtasks per task",
+        &task.replicable_stages().len().to_string(),
+    ]);
+    t.row(vec![
+        "CPU utilization threshold (non-predictive)",
+        "20 %",
+    ]);
+    let text = format!("Table 1: Baseline parameters\n\n{}\n", t.render());
+    FigureOutput {
+        id: "table1",
+        title: "Table 1: baseline parameters",
+        text,
+        tables: vec![("baseline".into(), t)],
+    }
+}
+
+fn coefficient_rows(t: &mut Table, label: &str, m: &ExecLatencyModel) {
+    t.row(vec![
+        label.to_string(),
+        format!("{:.6e}", m.a[0]),
+        format!("{:.6e}", m.a[1]),
+        format!("{:.6e}", m.a[2]),
+        format!("{:.6e}", m.b[0]),
+        format!("{:.6e}", m.b[1]),
+        format!("{:.6e}", m.b[2]),
+    ]);
+}
+
+/// Table 2: Eq. (3) coefficients — the paper's published values (rescaled
+/// to percent utilization; see `rtds_dynbench::paper`) next to the values
+/// re-fitted from our own profiling campaign.
+pub fn table2(opts: &FigureOptions) -> FigureOutput {
+    let mut t = Table::new(vec!["subtask / source", "a1", "a2", "a3", "b1", "b2", "b3"]);
+    coefficient_rows(&mut t, "3 (Filter), paper", &paper::filter_model());
+    coefficient_rows(&mut t, "5 (EvalDecide), paper", &paper::eval_decide_model());
+
+    let mut note = String::new();
+    if opts.fitted_models {
+        let data = crate::models::run_campaign();
+        if let Some(m) = data.exec_models.get(&FILTER_STAGE) {
+            coefficient_rows(&mut t, "3 (Filter), re-fitted", m);
+            note.push_str(&format!(
+                "re-fitted Filter model: R2 = {:.4} over {} samples\n",
+                m.stats.r2, m.stats.n
+            ));
+        }
+        if let Some(m) = data.exec_models.get(&EVAL_DECIDE_STAGE) {
+            coefficient_rows(&mut t, "5 (EvalDecide), re-fitted", m);
+            note.push_str(&format!(
+                "re-fitted EvalDecide model: R2 = {:.4} over {} samples\n",
+                m.stats.r2, m.stats.n
+            ));
+        }
+    } else {
+        note.push_str("(re-fit skipped: analytic models selected)\n");
+    }
+    let text = format!(
+        "Table 2: Coefficients of the execution-latency regression equation\n\n{}\n{note}",
+        t.render()
+    );
+    FigureOutput {
+        id: "table2",
+        title: "Table 2: execution-latency coefficients",
+        text,
+        tables: vec![("coefficients".into(), t)],
+    }
+}
+
+/// Table 3: buffer-delay slope — the paper's `k = 0.7` next to the slope
+/// re-fitted from our network profiling.
+pub fn table3(opts: &FigureOptions) -> FigureOutput {
+    let mut t = Table::new(vec!["source", "k (ms per 100 tracks)", "fit R2"]);
+    t.row(vec![
+        "paper (Table 3)".to_string(),
+        format!("{:.4}", paper::BUFFER_SLOPE_K),
+        "-".to_string(),
+    ]);
+    if opts.fitted_models {
+        let data = crate::models::run_campaign();
+        if let Some(b) = data.buffer_model {
+            t.row(vec![
+                "re-fitted".to_string(),
+                format!("{:.4}", b.k * 100.0),
+                format!("{:.4}", b.stats.r2),
+            ]);
+        }
+    }
+    let text = format!(
+        "Table 3: Coefficients of the buffer-delay regression equation\n\n{}\n",
+        t.render()
+    );
+    FigureOutput {
+        id: "table3",
+        title: "Table 3: buffer-delay coefficients",
+        text,
+        tables: vec![("buffer".into(), t)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        let f = table1(&FigureOptions::quick_for_tests("t1"));
+        assert_eq!(f.tables[0].1.len(), 10, "ten baseline parameters");
+        assert!(f.text.contains("990 ms"));
+        assert!(f.text.contains("Round-Robin"));
+        assert!(f.text.contains("20 %"));
+    }
+
+    #[test]
+    fn table2_always_includes_paper_coefficients() {
+        let f = table2(&FigureOptions::quick_for_tests("t2"));
+        assert!(f.tables[0].1.len() >= 2);
+        assert!(f.text.contains("Filter"));
+        assert!(f.text.contains("EvalDecide"));
+    }
+
+    #[test]
+    fn table3_reports_paper_slope() {
+        let f = table3(&FigureOptions::quick_for_tests("t3"));
+        assert!(f.text.contains("0.7"));
+    }
+}

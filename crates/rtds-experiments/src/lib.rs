@@ -1,0 +1,31 @@
+//! # rtds-experiments — the paper's evaluation, regenerated
+//!
+//! Harness that reproduces every table and figure of the evaluation
+//! section of Ravindran & Hegazy (IPPS 2001):
+//!
+//! * [`models`] — the profiling campaign that fits Eq. (3)/(5) models
+//!   against the simulator (plus a fast analytic fallback);
+//! * [`scenario`] — assembly of the Table 1 system + workload pattern +
+//!   policy into one simulation run;
+//! * [`sweep`] — parallel max-workload sweeps (the x-axis of Figs. 9–13);
+//! * [`figures`] — one runner per table/figure;
+//! * [`report`] — aligned tables, CSV artifacts, ASCII charts;
+//! * [`cli`] — shared flag parsing for the figure binaries.
+//!
+//! Binaries: `fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 fig13 tables
+//! run_all`, each accepting `--quick`, `--analytic`, `--out DIR`,
+//! `--threads N` (and `--extended` where applicable).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod figures;
+pub mod models;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+
+pub use figures::{FigureOptions, FigureOutput};
+pub use scenario::{run_scenario, PatternSpec, PolicySpec, ScenarioConfig, ScenarioResult};
+pub use sweep::{run_sweep, SweepConfig, SweepPoint, TRACKS_PER_UNIT};

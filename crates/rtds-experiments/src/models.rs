@@ -1,0 +1,101 @@
+//! Fitted prediction models for the evaluation scenarios.
+//!
+//! The predictive algorithm needs an Eq. (3) model per subtask and an
+//! Eq. (5) buffer-delay slope. [`fitted_predictor`] runs the full
+//! profiling campaign against the simulator (once per process, cached) and
+//! fits them with the paper's two-stage procedure; [`quick_predictor`]
+//! uses the closed-form analytic models for tests and fast runs.
+
+use std::sync::OnceLock;
+
+use rtds_arm::predictor::{analytic_predictor, Predictor};
+use rtds_dynbench::app::aaw_task;
+use rtds_dynbench::profile::{profile_buffer_delay, profile_execution, ProfileConfig};
+use rtds_dynbench::ProfileData;
+use rtds_regression::buffer::{BufferDelayModel, CommDelayModel};
+use rtds_regression::model::ExecLatencyModel;
+
+/// Link speed used by every communication model (Table 1: 100 Mbps).
+pub const LINK_BPS: f64 = 100e6;
+
+/// The profiling grid used for the cached fitted predictor.
+pub fn campaign_config() -> ProfileConfig {
+    ProfileConfig {
+        utilizations_pct: vec![10.0, 30.0, 50.0, 70.0],
+        data_sizes: vec![500, 2_000, 5_000, 9_000, 13_000, 17_500],
+        periods_per_point: 4,
+        warmup_periods: 2,
+        seed: 0xF17_7ED,
+    }
+}
+
+/// Runs the full profiling campaign and fits every model. Exposed so the
+/// `tables` binary can show raw samples and fit statistics.
+pub fn run_campaign() -> ProfileData {
+    let task = aaw_task();
+    let cfg = campaign_config();
+    let mut data = ProfileData {
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    for (j, stage) in task.stages.iter().enumerate() {
+        data.exec_samples
+            .insert(j, profile_execution(stage.cost, &cfg));
+    }
+    data.buffer_samples = profile_buffer_delay(&cfg, 3);
+    data.fit_all();
+    data
+}
+
+/// Builds a predictor from a fitted campaign.
+///
+/// # Panics
+/// Panics if the campaign failed to fit any stage or the buffer slope.
+pub fn predictor_from_profile(data: &ProfileData) -> Predictor {
+    let task = aaw_task();
+    let models: Vec<ExecLatencyModel> = (0..task.n_stages())
+        .map(|j| {
+            *data
+                .exec_models
+                .get(&j)
+                .unwrap_or_else(|| panic!("campaign did not fit stage {j}"))
+        })
+        .collect();
+    let buffer = data.buffer_model.expect("campaign did not fit buffer slope");
+    Predictor::new(&task, models, CommDelayModel::new(buffer, LINK_BPS))
+}
+
+/// The profile-fitted predictor, computed once per process.
+pub fn fitted_predictor() -> &'static Predictor {
+    static CACHE: OnceLock<Predictor> = OnceLock::new();
+    CACHE.get_or_init(|| predictor_from_profile(&run_campaign()))
+}
+
+/// A cheap analytic predictor (no profiling run) with the paper's Table 3
+/// buffer slope. Used by tests and `--quick` runs.
+pub fn quick_predictor() -> Predictor {
+    analytic_predictor(
+        &aaw_task(),
+        CommDelayModel::new(BufferDelayModel::from_slope(0.0005), LINK_BPS),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_predictor_covers_all_stages() {
+        let p = quick_predictor();
+        assert_eq!(p.n_stages(), 5);
+        assert!(p.eex(2, 5_000, 30.0).as_millis_f64() > 0.0);
+    }
+
+    #[test]
+    fn campaign_config_spans_the_operating_envelope() {
+        let c = campaign_config();
+        assert!(c.utilizations_pct.len() >= 3, "two-stage fit needs 3 levels");
+        assert!(c.data_sizes.iter().any(|&d| d >= 17_500), "covers max workload");
+        assert!(c.data_sizes.iter().any(|&d| d <= 1_000), "covers min workload");
+    }
+}

@@ -1,0 +1,212 @@
+//! Max-workload sweeps (the x-axis of Figs. 9–13).
+//!
+//! Each figure plots a metric against the experiment's **maximum
+//! workload** in scale units of 500 tracks, one independent simulation per
+//! point per policy. Points are embarrassingly parallel; the sweep fans
+//! them out over scoped threads (crossbeam) and collects into a mutex-
+//! guarded vector (parking_lot), then restores deterministic order.
+
+use parking_lot::Mutex;
+
+use rtds_arm::predictor::Predictor;
+use crate::scenario::{run_scenario, PatternSpec, PolicySpec, ScenarioConfig};
+use rtds_workloads::WorkloadRange;
+
+/// Tracks per scale unit on every figure's x-axis ("1 scale unit = 500
+/// Track").
+pub const TRACKS_PER_UNIT: u64 = 500;
+
+/// One sweep measurement.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Maximum workload in scale units.
+    pub units: u64,
+    /// Policy that ran.
+    pub policy: PolicySpec,
+    /// Missed-deadline percentage.
+    pub missed_pct: f64,
+    /// Average CPU utilization, percent.
+    pub cpu_pct: f64,
+    /// Average network utilization, percent.
+    pub net_pct: f64,
+    /// Average replicas per replicable subtask.
+    pub avg_replicas: f64,
+    /// Combined metric.
+    pub combined: f64,
+    /// Placement changes over the run.
+    pub placement_changes: u64,
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Pattern family (its period parameters fixed by the caller).
+    pub pattern: PatternSpec,
+    /// Max-workload grid, scale units.
+    pub units: Vec<u64>,
+    /// Policies to compare.
+    pub policies: Vec<PolicySpec>,
+    /// Periods per run.
+    pub n_periods: u64,
+    /// Ambient background utilization.
+    pub ambient_util: f64,
+    /// Seed (same for every point: the paper runs "a single experiment"
+    /// per point; determinism comes from the seed, comparability from
+    /// sharing it across policies).
+    pub seed: u64,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// The paper's sweep for one pattern: units 1..=35, both policies.
+    pub fn paper(pattern: PatternSpec) -> Self {
+        SweepConfig {
+            pattern,
+            units: (1..=35).collect(),
+            policies: vec![PolicySpec::Predictive, PolicySpec::NonPredictive],
+            n_periods: 240,
+            ambient_util: 0.10,
+            seed: 0x5EED,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// A coarse, short sweep for tests and `--quick` runs.
+    pub fn quick(pattern: PatternSpec) -> Self {
+        SweepConfig {
+            units: vec![4, 16, 28],
+            n_periods: 40,
+            threads: 2,
+            ..Self::paper(pattern)
+        }
+    }
+}
+
+/// Runs the sweep. Results are ordered by (unit, policy order as given).
+pub fn run_sweep(cfg: &SweepConfig, predictor: &Predictor) -> Vec<SweepPoint> {
+    assert!(!cfg.units.is_empty() && !cfg.policies.is_empty(), "empty sweep");
+    let mut jobs: Vec<(usize, u64, PolicySpec)> = Vec::new();
+    for &u in &cfg.units {
+        for &p in &cfg.policies {
+            jobs.push((jobs.len(), u, p));
+        }
+    }
+    let results: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let threads = cfg.threads.clamp(1, jobs.len());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (order, units, policy) = jobs[i];
+                let point = run_point(cfg, units, policy, predictor);
+                results.lock().push((order, point));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut out = results.into_inner();
+    out.sort_by_key(|(order, _)| *order);
+    out.into_iter().map(|(_, p)| p).collect()
+}
+
+fn run_point(
+    cfg: &SweepConfig,
+    units: u64,
+    policy: PolicySpec,
+    predictor: &Predictor,
+) -> SweepPoint {
+    let max_tracks = units * TRACKS_PER_UNIT;
+    let scenario = ScenarioConfig {
+        pattern: cfg.pattern,
+        policy,
+        workload: WorkloadRange::new(500.min(max_tracks), max_tracks),
+        n_periods: cfg.n_periods,
+        ambient_util: cfg.ambient_util,
+        seed: cfg.seed,
+        scheduler: rtds_sim::sched::SchedulerKind::paper_baseline(),
+        online_refinement: false,
+        failures: Vec::new(),
+    };
+    let r = run_scenario(&scenario, predictor);
+    SweepPoint {
+        units,
+        policy,
+        missed_pct: r.summary.missed_deadline_pct,
+        cpu_pct: r.summary.avg_cpu_util_pct,
+        net_pct: r.summary.avg_net_util_pct,
+        avg_replicas: r.summary.avg_replicas,
+        combined: r.breakdown.combined,
+        placement_changes: r.summary.placement_changes,
+    }
+}
+
+/// Selects the points of one policy, ordered by unit.
+pub fn points_for(points: &[SweepPoint], policy: PolicySpec) -> Vec<&SweepPoint> {
+    points.iter().filter(|p| p.policy == policy).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::quick_predictor;
+
+    #[test]
+    fn sweep_produces_every_grid_point_in_order() {
+        let mut cfg = SweepConfig::quick(PatternSpec::Triangular { half_period: 10 });
+        cfg.units = vec![2, 20];
+        cfg.n_periods = 20;
+        let pts = run_sweep(&cfg, &quick_predictor());
+        assert_eq!(pts.len(), 4);
+        assert_eq!(
+            pts.iter().map(|p| p.units).collect::<Vec<_>>(),
+            vec![2, 2, 20, 20]
+        );
+        assert_eq!(pts[0].policy, PolicySpec::Predictive);
+        assert_eq!(pts[1].policy, PolicySpec::NonPredictive);
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree() {
+        let mut cfg = SweepConfig::quick(PatternSpec::Triangular { half_period: 10 });
+        cfg.units = vec![4, 24];
+        cfg.n_periods = 20;
+        let p = quick_predictor();
+        cfg.threads = 1;
+        let seq = run_sweep(&cfg, &p);
+        cfg.threads = 4;
+        let par = run_sweep(&cfg, &p);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.units, b.units);
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.missed_pct, b.missed_pct);
+            assert_eq!(a.combined, b.combined);
+        }
+    }
+
+    #[test]
+    fn points_for_filters_by_policy() {
+        let mut cfg = SweepConfig::quick(PatternSpec::Increasing { ramp_periods: 15 });
+        cfg.units = vec![8];
+        cfg.n_periods = 20;
+        let pts = run_sweep(&cfg, &quick_predictor());
+        assert_eq!(points_for(&pts, PolicySpec::Predictive).len(), 1);
+        assert_eq!(points_for(&pts, PolicySpec::NonPredictive).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep")]
+    fn empty_sweep_panics() {
+        let mut cfg = SweepConfig::quick(PatternSpec::Triangular { half_period: 5 });
+        cfg.units.clear();
+        let _ = run_sweep(&cfg, &quick_predictor());
+    }
+}

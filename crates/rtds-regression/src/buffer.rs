@@ -1,0 +1,186 @@
+//! The paper's communication-delay model, Eqs. (4)–(6).
+//!
+//! `ecd(m, d, c) = Dbuf(d, c) + Dtrans(d)` where
+//!
+//! * `Dbuf = k · Σ_i ds(T_i, c)` — buffer (queueing) delay grows linearly
+//!   with the **total periodic workload** across all tasks (Eq. 5); the
+//!   slope `k` is fitted from profile data (the paper's Table 3: 0.7);
+//! * `Dtrans = d / ls` — transmission delay of this message's own `d`
+//!   bytes at link speed `ls` (Eq. 6).
+
+use crate::linear::SimpleLinear;
+use crate::matrix::SolveError;
+use crate::stats::FitStats;
+
+/// One buffer-delay profiling observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct BufferDelaySample {
+    /// Total periodic workload `Σ ds(T_i, c)` in tracks.
+    pub total_tracks: f64,
+    /// Observed buffer (queueing) delay, milliseconds.
+    pub delay_ms: f64,
+}
+
+/// Fitted Eq. (5): `Dbuf = k · total_tracks` (through the origin).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct BufferDelayModel {
+    /// Slope `k`, milliseconds per track.
+    pub k: f64,
+    /// Fit quality on the training data.
+    pub stats: FitStats,
+}
+
+impl BufferDelayModel {
+    /// Builds the model from a known slope (e.g. the paper's Table 3).
+    pub fn from_slope(k: f64) -> Self {
+        assert!(k.is_finite() && k >= 0.0, "slope must be finite and >= 0");
+        BufferDelayModel {
+            k,
+            stats: FitStats {
+                r2: f64::NAN,
+                adjusted_r2: f64::NAN,
+                rmse: f64::NAN,
+                mae: f64::NAN,
+                max_abs_residual: f64::NAN,
+                n: 0,
+                params: 1,
+            },
+        }
+    }
+
+    /// Fits the slope by through-origin least squares — "a simple linear
+    /// approximation of this delay is reasonable" (paper §4.2.1.2).
+    ///
+    /// # Errors
+    /// Fails on empty input or all-zero workloads.
+    pub fn fit(samples: &[BufferDelaySample]) -> Result<Self, SolveError> {
+        let xs: Vec<f64> = samples.iter().map(|s| s.total_tracks).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.delay_ms).collect();
+        let line = SimpleLinear::fit_through_origin(&xs, &ys)?;
+        Ok(BufferDelayModel {
+            k: line.slope,
+            stats: line.stats,
+        })
+    }
+
+    /// Predicted buffer delay (ms) for a total periodic workload.
+    pub fn predict_ms(&self, total_tracks: f64) -> f64 {
+        (self.k * total_tracks).max(0.0)
+    }
+}
+
+/// The full Eq. (4) communication-delay predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct CommDelayModel {
+    /// The fitted buffer-delay component.
+    pub buffer: BufferDelayModel,
+    /// Link speed `ls` in bits per second (Eq. 6).
+    pub link_bps: f64,
+}
+
+impl CommDelayModel {
+    /// Creates the predictor.
+    ///
+    /// # Panics
+    /// Panics unless `link_bps > 0`.
+    pub fn new(buffer: BufferDelayModel, link_bps: f64) -> Self {
+        assert!(link_bps > 0.0 && link_bps.is_finite(), "link speed must be positive");
+        CommDelayModel { buffer, link_bps }
+    }
+
+    /// Eq. (6): transmission delay in ms for a message of `bytes`.
+    pub fn dtrans_ms(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0);
+        bytes * 8.0 / self.link_bps * 1e3
+    }
+
+    /// Eq. (4): total predicted communication delay in ms for a message of
+    /// `bytes`, under total periodic workload `total_tracks`.
+    pub fn predict_ms(&self, bytes: f64, total_tracks: f64) -> f64 {
+        self.buffer.predict_ms(total_tracks) + self.dtrans_ms(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_known_slope() {
+        let samples: Vec<BufferDelaySample> = (1..=30)
+            .map(|i| BufferDelaySample {
+                total_tracks: 500.0 * i as f64,
+                delay_ms: 0.7 * 500.0 * i as f64 / 1000.0, // k = 0.0007
+            })
+            .collect();
+        let m = BufferDelayModel::fit(&samples).unwrap();
+        assert!((m.k - 0.0007).abs() < 1e-12);
+        assert!((m.stats.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_with_noise_still_close() {
+        let samples: Vec<BufferDelaySample> = (1..=40)
+            .map(|i| {
+                let x = 300.0 * i as f64;
+                BufferDelaySample {
+                    total_tracks: x,
+                    delay_ms: 0.002 * x * if i % 2 == 0 { 1.05 } else { 0.95 },
+                }
+            })
+            .collect();
+        let m = BufferDelayModel::fit(&samples).unwrap();
+        assert!((m.k - 0.002).abs() < 2e-4, "k {}", m.k);
+    }
+
+    #[test]
+    fn prediction_is_linear_in_load() {
+        let m = BufferDelayModel::from_slope(0.001);
+        assert_eq!(m.predict_ms(0.0), 0.0);
+        assert!((m.predict_ms(1000.0) - 1.0).abs() < 1e-12);
+        assert!((m.predict_ms(2000.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_or_degenerate_fit_fails() {
+        assert!(BufferDelayModel::fit(&[]).is_err());
+        let zeros = vec![
+            BufferDelaySample {
+                total_tracks: 0.0,
+                delay_ms: 1.0
+            };
+            3
+        ];
+        assert!(BufferDelayModel::fit(&zeros).is_err());
+    }
+
+    #[test]
+    fn dtrans_matches_eq6() {
+        let m = CommDelayModel::new(BufferDelayModel::from_slope(0.0), 100e6);
+        // 1 Mbit at 100 Mbps = 10 ms.
+        assert!((m.dtrans_ms(125_000.0) - 10.0).abs() < 1e-9);
+        assert_eq!(m.dtrans_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn eq4_is_sum_of_parts() {
+        let m = CommDelayModel::new(BufferDelayModel::from_slope(0.001), 100e6);
+        let total = m.predict_ms(125_000.0, 3000.0);
+        assert!((total - (10.0 + 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_link_speed_rejected() {
+        let _ = CommDelayModel::new(BufferDelayModel::from_slope(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_slope_rejected() {
+        let _ = BufferDelayModel::from_slope(-0.1);
+    }
+}

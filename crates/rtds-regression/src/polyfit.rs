@@ -1,0 +1,170 @@
+//! Polynomial least-squares fitting.
+//!
+//! The paper's profiling step fits "a second order non-linear regression
+//! equation that computes execution latency as a function of data size"
+//! at each measured CPU utilization (the red `Y` curves in Figs. 2–3).
+
+use crate::matrix::{Matrix, SolveError};
+use crate::stats::{fit_stats, FitStats};
+
+/// A fitted polynomial `y = c[0] + c[1]·x + … + c[d]·x^d`.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Polynomial {
+    /// Coefficients in ascending-power order.
+    pub coefficients: Vec<f64>,
+    /// Fit quality on the training data.
+    pub stats: FitStats,
+}
+
+impl Polynomial {
+    /// Fits a degree-`degree` polynomial.
+    ///
+    /// ```
+    /// use rtds_regression::Polynomial;
+    /// let xs = [0.0, 1.0, 2.0, 3.0];
+    /// let ys = [1.0, 2.0, 5.0, 10.0]; // 1 + x^2
+    /// let p = Polynomial::fit(&xs, &ys, 2).unwrap();
+    /// assert!((p.eval(4.0) - 17.0).abs() < 1e-9);
+    /// ```
+    ///
+    /// # Errors
+    /// Fails if there are fewer than `degree + 1` points or the design
+    /// matrix is rank-deficient (e.g. duplicated x values only).
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Self, SolveError> {
+        assert_eq!(xs.len(), ys.len(), "length mismatch");
+        let cols = degree + 1;
+        if xs.len() < cols {
+            return Err(SolveError::Underdetermined {
+                rows: xs.len(),
+                cols,
+            });
+        }
+        let mut data = Vec::with_capacity(xs.len() * cols);
+        for &x in xs {
+            let mut p = 1.0;
+            for _ in 0..cols {
+                data.push(p);
+                p *= x;
+            }
+        }
+        let a = Matrix::from_rows(xs.len(), cols, data);
+        let coefficients = a.lstsq(ys)?;
+        let pred = a.matvec(&coefficients);
+        let stats = fit_stats(ys, &pred, cols);
+        Ok(Polynomial {
+            coefficients,
+            stats,
+        })
+    }
+
+    /// Fits a quadratic **through the origin**: `y = b·x + a·x²`. This is
+    /// the per-utilization form inside Eq. (3), which has no constant term
+    /// (zero data items cost zero time in the paper's model).
+    pub fn fit_quadratic_origin(xs: &[f64], ys: &[f64]) -> Result<Self, SolveError> {
+        assert_eq!(xs.len(), ys.len(), "length mismatch");
+        if xs.len() < 2 {
+            return Err(SolveError::Underdetermined {
+                rows: xs.len(),
+                cols: 2,
+            });
+        }
+        let mut data = Vec::with_capacity(xs.len() * 2);
+        for &x in xs {
+            data.push(x);
+            data.push(x * x);
+        }
+        let a = Matrix::from_rows(xs.len(), 2, data);
+        let c = a.lstsq(ys)?;
+        let pred = a.matvec(&c);
+        let stats = fit_stats(ys, &pred, 2);
+        Ok(Polynomial {
+            coefficients: vec![0.0, c[0], c[1]],
+            stats,
+        })
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coefficients.len().saturating_sub(1)
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_quadratic() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x * x - 3.0 * x + 1.0).collect();
+        let p = Polynomial::fit(&xs, &ys, 2).unwrap();
+        assert!((p.coefficients[0] - 1.0).abs() < 1e-8);
+        assert!((p.coefficients[1] + 3.0).abs() < 1e-8);
+        assert!((p.coefficients[2] - 2.0).abs() < 1e-8);
+        assert!((p.stats.r2 - 1.0).abs() < 1e-12);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn eval_uses_horner_correctly() {
+        let p = Polynomial {
+            coefficients: vec![1.0, -3.0, 2.0],
+            stats: crate::stats::fit_stats(&[0.0], &[0.0], 1),
+        };
+        assert!((p.eval(4.0) - (1.0 - 12.0 + 32.0)).abs() < 1e-12);
+        assert!((p.eval(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_zero_fits_the_mean() {
+        let p = Polynomial::fit(&[1.0, 2.0, 3.0], &[4.0, 6.0, 8.0], 0).unwrap();
+        assert!((p.coefficients[0] - 6.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn higher_degree_never_fits_worse() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 / 2.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 0.5 * x * x + x + (x * 1.7).sin())
+            .collect();
+        let d1 = Polynomial::fit(&xs, &ys, 1).unwrap();
+        let d2 = Polynomial::fit(&xs, &ys, 2).unwrap();
+        let d3 = Polynomial::fit(&xs, &ys, 3).unwrap();
+        assert!(d2.stats.rmse <= d1.stats.rmse + 1e-12);
+        assert!(d3.stats.rmse <= d2.stats.rmse + 1e-12);
+    }
+
+    #[test]
+    fn quadratic_origin_has_no_constant_term() {
+        let xs: Vec<f64> = (1..15).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.3 * x * x + 2.0 * x).collect();
+        let p = Polynomial::fit_quadratic_origin(&xs, &ys).unwrap();
+        assert_eq!(p.coefficients[0], 0.0);
+        assert!((p.coefficients[1] - 2.0).abs() < 1e-8);
+        assert!((p.coefficients[2] - 0.3).abs() < 1e-8);
+        assert!((p.eval(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underdetermined_inputs_error() {
+        assert!(Polynomial::fit(&[1.0, 2.0], &[1.0, 2.0], 2).is_err());
+        assert!(Polynomial::fit_quadratic_origin(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn duplicate_xs_rank_deficiency_detected() {
+        let xs = [2.0, 2.0, 2.0, 2.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        assert!(Polynomial::fit(&xs, &ys, 2).is_err());
+    }
+}

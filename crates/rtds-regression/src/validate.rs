@@ -1,0 +1,229 @@
+//! Model validation: k-fold cross-validation and residual-based
+//! prediction intervals.
+//!
+//! The paper fits Eq. (3) once per subtask and trusts it for allocation.
+//! These utilities quantify how far that trust is justified: k-fold CV
+//! estimates out-of-sample error (the error the allocator actually pays),
+//! and residual quantiles give a conservative band around a forecast for
+//! slack-aware callers.
+
+use crate::matrix::SolveError;
+use crate::model::{ExecLatencyModel, LatencySample};
+use crate::stats::{fit_stats, FitStats};
+
+/// Result of a k-fold cross-validation of the Eq. (3) fit.
+#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct CrossValidation {
+    /// Out-of-fold fit statistics, pooled over all folds.
+    pub pooled: FitStats,
+    /// Per-fold RMSE.
+    pub fold_rmse: Vec<f64>,
+    /// Folds used.
+    pub k: usize,
+}
+
+/// How the Eq. (3) model is fitted inside the validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitMethod {
+    /// The paper's two-stage procedure.
+    TwoStage,
+    /// Direct six-parameter least squares.
+    Direct,
+}
+
+fn fit(samples: &[LatencySample], method: FitMethod) -> Result<ExecLatencyModel, SolveError> {
+    match method {
+        FitMethod::TwoStage => ExecLatencyModel::fit_two_stage(samples),
+        FitMethod::Direct => ExecLatencyModel::fit_direct(samples),
+    }
+}
+
+/// Runs k-fold cross-validation: deterministic round-robin fold
+/// assignment (sample `i` → fold `i % k`), refit on k−1 folds, score on
+/// the held-out fold.
+///
+/// # Errors
+/// Fails if `k < 2`, there are fewer than `k` samples, or any training
+/// fold cannot support the chosen fit (e.g. the two-stage method losing a
+/// whole utilization level).
+pub fn cross_validate(
+    samples: &[LatencySample],
+    k: usize,
+    method: FitMethod,
+) -> Result<CrossValidation, SolveError> {
+    if k < 2 || samples.len() < k {
+        return Err(SolveError::Underdetermined {
+            rows: samples.len(),
+            cols: k,
+        });
+    }
+    let mut observed = Vec::with_capacity(samples.len());
+    let mut predicted = Vec::with_capacity(samples.len());
+    let mut fold_rmse = Vec::with_capacity(k);
+    for fold in 0..k {
+        let train: Vec<LatencySample> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != fold)
+            .map(|(_, s)| *s)
+            .collect();
+        let test: Vec<LatencySample> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k == fold)
+            .map(|(_, s)| *s)
+            .collect();
+        let model = fit(&train, method)?;
+        let mut sq = 0.0;
+        for s in &test {
+            let p = model.predict_raw(s.d, s.u);
+            observed.push(s.latency_ms);
+            predicted.push(p);
+            sq += (p - s.latency_ms).powi(2);
+        }
+        fold_rmse.push((sq / test.len().max(1) as f64).sqrt());
+    }
+    Ok(CrossValidation {
+        pooled: fit_stats(&observed, &predicted, 6),
+        fold_rmse,
+        k,
+    })
+}
+
+/// A symmetric prediction band derived from empirical residual quantiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PredictionBand {
+    /// Residual value below which `coverage` of residuals fall (absolute).
+    pub half_width_ms: f64,
+    /// Requested coverage, e.g. 0.9.
+    pub coverage: f64,
+}
+
+impl PredictionBand {
+    /// Builds a band from a model's residuals on a sample set.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or coverage is outside `(0, 1]`.
+    pub fn from_residuals(
+        model: &ExecLatencyModel,
+        samples: &[LatencySample],
+        coverage: f64,
+    ) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        assert!(coverage > 0.0 && coverage <= 1.0, "coverage in (0, 1]");
+        let mut abs: Vec<f64> = samples
+            .iter()
+            .map(|s| (model.predict_raw(s.d, s.u) - s.latency_ms).abs())
+            .collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+        let idx = ((abs.len() as f64 * coverage).ceil() as usize)
+            .clamp(1, abs.len())
+            - 1;
+        PredictionBand {
+            half_width_ms: abs[idx],
+            coverage,
+        }
+    }
+
+    /// The conservative (upper) forecast: prediction plus the band.
+    pub fn upper_ms(&self, prediction_ms: f64) -> f64 {
+        prediction_ms + self.half_width_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_grid(noise: f64) -> Vec<LatencySample> {
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        for &u in &[10.0, 30.0, 50.0, 70.0] {
+            for d in (1..=10).map(|i| i as f64 * 2.0) {
+                let clean = (1e-4 * u * u + 0.01 * u + 0.1) * d * d + (0.02 * u + 1.0) * d;
+                // Deterministic zero-mean-ish "noise" varying per sample.
+                let sign = match i % 3 {
+                    0 => 1.0,
+                    1 => -1.0,
+                    _ => 0.5,
+                };
+                i += 1;
+                out.push(LatencySample {
+                    d,
+                    u,
+                    latency_ms: clean * (1.0 + sign * noise),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cross_validation_on_clean_data_is_nearly_perfect() {
+        let cv = cross_validate(&noisy_grid(0.0), 5, FitMethod::TwoStage).unwrap();
+        assert!(cv.pooled.r2 > 0.999999, "r2 {}", cv.pooled.r2);
+        assert_eq!(cv.fold_rmse.len(), 5);
+        assert!(cv.fold_rmse.iter().all(|&r| r < 1e-6));
+    }
+
+    #[test]
+    fn cross_validation_reports_noise_level() {
+        let cv = cross_validate(&noisy_grid(0.05), 4, FitMethod::Direct).unwrap();
+        assert!(cv.pooled.r2 > 0.9, "still explains the trend: {}", cv.pooled.r2);
+        assert!(cv.pooled.rmse > 0.1, "but sees the noise: {}", cv.pooled.rmse);
+    }
+
+    #[test]
+    fn both_methods_validate_comparably_on_clean_data() {
+        let a = cross_validate(&noisy_grid(0.0), 4, FitMethod::TwoStage).unwrap();
+        let b = cross_validate(&noisy_grid(0.0), 4, FitMethod::Direct).unwrap();
+        assert!((a.pooled.rmse - b.pooled.rmse).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_folds_are_rejected() {
+        let s = noisy_grid(0.0);
+        assert!(cross_validate(&s, 1, FitMethod::Direct).is_err());
+        assert!(cross_validate(&s[..3], 5, FitMethod::Direct).is_err());
+    }
+
+    #[test]
+    fn prediction_band_covers_the_requested_fraction() {
+        let samples = noisy_grid(0.05);
+        let model = ExecLatencyModel::fit_direct(&samples).unwrap();
+        let band = PredictionBand::from_residuals(&model, &samples, 0.9);
+        let covered = samples
+            .iter()
+            .filter(|s| {
+                (model.predict_raw(s.d, s.u) - s.latency_ms).abs() <= band.half_width_ms + 1e-12
+            })
+            .count();
+        assert!(
+            covered as f64 >= 0.9 * samples.len() as f64,
+            "coverage {covered}/{}",
+            samples.len()
+        );
+        // Full coverage band is at least as wide.
+        let full = PredictionBand::from_residuals(&model, &samples, 1.0);
+        assert!(full.half_width_ms >= band.half_width_ms);
+    }
+
+    #[test]
+    fn upper_forecast_adds_the_band() {
+        let b = PredictionBand {
+            half_width_ms: 12.5,
+            coverage: 0.95,
+        };
+        assert!((b.upper_ms(100.0) - 112.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn zero_coverage_rejected() {
+        let samples = noisy_grid(0.0);
+        let model = ExecLatencyModel::fit_direct(&samples).unwrap();
+        let _ = PredictionBand::from_residuals(&model, &samples, 0.0);
+    }
+}

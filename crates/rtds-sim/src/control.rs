@@ -1,0 +1,215 @@
+//! The control-plane interface between the simulator and a resource
+//! manager.
+//!
+//! The paper's Fig. 1 shows the loop: the application reports "performance
+//! data and resource utilization metrics on a global time scale" to the
+//! resource manager, which responds with "candidate subtasks for
+//! replication, number of replicas, their processors". This module is that
+//! arrow pair: at every period boundary the cluster hands a [`Controller`]
+//! the finished-instance observations plus a [`ControlContext`] snapshot of
+//! resource state, and the controller answers with [`ControlAction`]s that
+//! the cluster applies before releasing the next instance.
+//!
+//! Keeping this interface in the simulator crate (and free of any
+//! regression machinery) lets the predictive algorithm, the non-predictive
+//! baseline, and any future policy plug in symmetrically.
+
+use crate::ids::{NodeId, SubtaskIdx, TaskId};
+use crate::time::{SimDuration, SimTime};
+
+/// Per-stage observation extracted from one completed period instance.
+#[derive(Debug, Clone)]
+pub struct StageObservation {
+    /// Stage position in the pipeline.
+    pub subtask: SubtaskIdx,
+    /// Replica count the stage ran with.
+    pub replicas: u32,
+    /// Total data items the stage processed (before splitting).
+    pub tracks: u64,
+    /// Worst per-replica execution latency (job release → completion).
+    pub exec_latency: SimDuration,
+    /// Worst per-replica inbound message delay (buffer + transmission);
+    /// zero for the first stage, which is fed directly by the sensor.
+    pub inbound_msg_delay: SimDuration,
+    /// Stage wall time: predecessor completion → all replicas done.
+    pub stage_latency: SimDuration,
+}
+
+/// Observation of one completed (or shed) period instance.
+#[derive(Debug, Clone)]
+pub struct PeriodObservation {
+    /// Owning task.
+    pub task: TaskId,
+    /// Instance number.
+    pub instance: u64,
+    /// Release time.
+    pub released: SimTime,
+    /// Data items that arrived this period: `ds(T_i, c)`.
+    pub tracks: u64,
+    /// End-to-end latency; `None` for shed instances.
+    pub end_to_end: Option<SimDuration>,
+    /// Whether the end-to-end deadline was missed (shed counts as missed).
+    pub missed: bool,
+    /// Per-stage details; empty for shed instances.
+    pub stages: Vec<StageObservation>,
+}
+
+/// Snapshot of cluster resource state offered to the controller, on the
+/// global time scale.
+#[derive(Debug, Clone)]
+pub struct ControlContext {
+    /// Current global time.
+    pub now: SimTime,
+    /// Observed CPU utilization `ut(p, t)` per node, **percent**.
+    pub node_util_pct: Vec<f64>,
+    /// Liveness per node; dead nodes (fault injection) must not receive
+    /// replicas.
+    pub alive: Vec<bool>,
+    /// Current placement (`PS(st)`) per task, per stage.
+    pub placements: Vec<Vec<Vec<NodeId>>>,
+    /// Replicability per task, per stage.
+    pub replicable: Vec<Vec<bool>>,
+    /// Period of each task.
+    pub periods: Vec<SimDuration>,
+    /// Relative end-to-end deadline of each task.
+    pub deadlines: Vec<SimDuration>,
+    /// Most recent per-task workload `ds(T_i, c)` in tracks.
+    pub last_tracks: Vec<u64>,
+}
+
+impl ControlContext {
+    /// Total periodic workload `Σ_i ds(T_i, c)` across all tasks — the
+    /// regressor of Eq. (5).
+    pub fn total_tracks(&self) -> u64 {
+        self.last_tracks.iter().sum()
+    }
+
+    /// Number of processors in the cluster.
+    pub fn n_nodes(&self) -> usize {
+        self.node_util_pct.len()
+    }
+
+    /// The least-utilized **alive** node not already in `exclude`, if any
+    /// — step 3 of Fig. 5. Ties break toward the lower node id,
+    /// deterministically.
+    pub fn least_utilized_excluding(&self, exclude: &[NodeId]) -> Option<NodeId> {
+        (0..self.n_nodes())
+            .map(NodeId::from_index)
+            .filter(|n| self.alive[n.index()] && !exclude.contains(n))
+            .min_by(|a, b| {
+                self.node_util_pct[a.index()]
+                    .partial_cmp(&self.node_util_pct[b.index()])
+                    .expect("utilization is never NaN")
+                    .then(a.cmp(b))
+            })
+    }
+}
+
+/// An action the controller asks the cluster to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlAction {
+    /// Replace the replica set of one stage (effective next release).
+    SetPlacement {
+        /// Target task.
+        task: TaskId,
+        /// Target stage.
+        subtask: SubtaskIdx,
+        /// New ordered replica set; first entry is the original processor.
+        nodes: Vec<NodeId>,
+    },
+}
+
+/// A resource-management policy plugged into the simulation loop.
+pub trait Controller: Send {
+    /// Invoked at each period boundary of each task, before the next
+    /// release. `completed` holds observations of instances that finished
+    /// since the previous invocation (usually one; more after a backlog
+    /// drains, none while an instance overruns).
+    fn on_period_boundary(
+        &mut self,
+        completed: &[PeriodObservation],
+        ctx: &ControlContext,
+    ) -> Vec<ControlAction>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A controller that never adapts; the no-management baseline.
+pub struct NullController;
+
+impl Controller for NullController {
+    fn on_period_boundary(
+        &mut self,
+        _completed: &[PeriodObservation],
+        _ctx: &ControlContext,
+    ) -> Vec<ControlAction> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(utils: Vec<f64>) -> ControlContext {
+        ControlContext {
+            now: SimTime::from_secs(1),
+            alive: vec![true; utils.len()],
+            node_util_pct: utils,
+            placements: vec![vec![vec![NodeId(0)]]],
+            replicable: vec![vec![true]],
+            periods: vec![SimDuration::from_secs(1)],
+            deadlines: vec![SimDuration::from_millis(990)],
+            last_tracks: vec![1500, 300],
+        }
+    }
+
+    #[test]
+    fn total_tracks_sums_all_tasks() {
+        assert_eq!(ctx(vec![0.0]).total_tracks(), 1800);
+    }
+
+    #[test]
+    fn least_utilized_picks_minimum() {
+        let c = ctx(vec![30.0, 10.0, 20.0]);
+        assert_eq!(c.least_utilized_excluding(&[]), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn least_utilized_respects_exclusions() {
+        let c = ctx(vec![30.0, 10.0, 20.0]);
+        assert_eq!(c.least_utilized_excluding(&[NodeId(1)]), Some(NodeId(2)));
+        assert_eq!(
+            c.least_utilized_excluding(&[NodeId(0), NodeId(1), NodeId(2)]),
+            None
+        );
+    }
+
+    #[test]
+    fn least_utilized_breaks_ties_deterministically() {
+        let c = ctx(vec![10.0, 10.0, 10.0]);
+        assert_eq!(c.least_utilized_excluding(&[]), Some(NodeId(0)));
+        assert_eq!(c.least_utilized_excluding(&[NodeId(0)]), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn least_utilized_skips_dead_nodes() {
+        let mut c = ctx(vec![30.0, 10.0, 20.0]);
+        c.alive[1] = false;
+        assert_eq!(c.least_utilized_excluding(&[]), Some(NodeId(2)));
+        c.alive = vec![false; 3];
+        assert_eq!(c.least_utilized_excluding(&[]), None);
+    }
+
+    #[test]
+    fn null_controller_does_nothing() {
+        let mut nc = NullController;
+        assert!(nc.on_period_boundary(&[], &ctx(vec![0.0])).is_empty());
+        assert_eq!(nc.name(), "none");
+    }
+}

@@ -1,0 +1,155 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity in the simulated system gets its own id newtype so that a
+//! node index can never be confused with a task index at a call site. All
+//! ids are small dense integers, suitable for direct `Vec` indexing.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[derive(serde::Serialize, serde::Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Zero-based dense index for `Vec` indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id index overflow"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A processor node (the paper's `p_i`).
+    NodeId, "p"
+);
+id_type!(
+    /// A periodic task (the paper's `T_i`).
+    TaskId, "T"
+);
+id_type!(
+    /// A background load generator attached to a node.
+    LoadGenId, "bg"
+);
+id_type!(
+    /// A job queued on some node's CPU.
+    JobId, "j"
+);
+id_type!(
+    /// A message in flight on the network.
+    MsgId, "m"
+);
+
+/// Index of a subtask within its task's pipeline (the paper's `st^i_j`,
+/// 0-based here; the paper counts from 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SubtaskIdx(pub u32);
+
+impl SubtaskIdx {
+    /// Zero-based dense index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        SubtaskIdx(u32::try_from(i).expect("subtask index overflow"))
+    }
+
+    /// One-based position as the paper writes it (`st_1` is the first).
+    #[inline]
+    pub const fn paper_number(self) -> u32 {
+        self.0 + 1
+    }
+}
+
+impl fmt::Display for SubtaskIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "st{}", self.paper_number())
+    }
+}
+
+/// A (task, subtask) pair — the globally unique name of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct StageId {
+    /// Owning periodic task.
+    pub task: TaskId,
+    /// Position in the task's pipeline.
+    pub subtask: SubtaskIdx,
+}
+
+impl StageId {
+    /// Convenience constructor.
+    pub fn new(task: TaskId, subtask: SubtaskIdx) -> Self {
+        StageId { task, subtask }
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.task, self.subtask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_indices() {
+        let n = NodeId::from_index(5);
+        assert_eq!(n.index(), 5);
+        assert_eq!(n, NodeId(5));
+        let s = SubtaskIdx::from_index(2);
+        assert_eq!(s.index(), 2);
+        assert_eq!(s.paper_number(), 3);
+    }
+
+    #[test]
+    fn display_forms_match_paper_notation() {
+        assert_eq!(NodeId(0).to_string(), "p0");
+        assert_eq!(TaskId(1).to_string(), "T1");
+        assert_eq!(SubtaskIdx(2).to_string(), "st3");
+        assert_eq!(
+            StageId::new(TaskId(0), SubtaskIdx(4)).to_string(),
+            "T0.st5"
+        );
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(StageId::new(TaskId(0), SubtaskIdx(0)));
+        set.insert(StageId::new(TaskId(0), SubtaskIdx(1)));
+        set.insert(StageId::new(TaskId(0), SubtaskIdx(0)));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflow")]
+    fn from_index_rejects_overflow() {
+        let _ = NodeId::from_index(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+}

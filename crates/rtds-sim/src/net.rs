@@ -1,0 +1,476 @@
+//! Shared-medium network model.
+//!
+//! The paper's hardware is "a set of distributed processors that share a
+//! common communication medium such as an Ethernet segment (IEEE 802.3)"
+//! at 100 Mbps (Table 1). [`SharedBus`] models that segment: one message
+//! transmits at a time; others wait in a FIFO queue. The waiting time is
+//! the paper's **buffer delay** `Dbuf` (Eq. 5) — it grows with the total
+//! periodic workload because all inter-subtask messages contend for the one
+//! segment — and the time on the wire is the **transmission delay**
+//! `Dtrans = d / ls` (Eq. 6), plus per-frame Ethernet overhead.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::ids::{MsgId, NodeId, StageId};
+use crate::time::{SimDuration, SimTime};
+
+/// Payload routing information for a delivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgPayload {
+    /// Inter-subtask data: the share of the data stream destined for one
+    /// replica of one stage of one period instance.
+    StageData {
+        /// Destination stage.
+        stage: StageId,
+        /// Destination replica index within the stage's placement.
+        replica: u32,
+        /// Period instance number.
+        instance: u64,
+        /// Number of data items (tracks) carried.
+        tracks: u64,
+    },
+}
+
+/// A message either queued, in flight, or delivered.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Unique id within the run.
+    pub id: MsgId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Application payload size in bytes (before framing overhead).
+    pub size_bytes: u64,
+    /// Routing payload.
+    pub payload: MsgPayload,
+    /// When the sender handed the message to the network layer.
+    pub enqueued: SimTime,
+    /// When transmission onto the medium began.
+    pub tx_start: Option<SimTime>,
+}
+
+impl Message {
+    /// Buffer (queueing) delay experienced so far: Eq. (5)'s measured
+    /// quantity.
+    pub fn buffer_delay(&self) -> Option<SimDuration> {
+        self.tx_start.map(|t| t.since(self.enqueued))
+    }
+}
+
+/// Configuration of the shared segment.
+#[derive(Debug, Clone, Copy)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct BusConfig {
+    /// Link speed in bits per second (`ls` in Eq. 6). Paper: 100 Mbps.
+    pub bandwidth_bps: f64,
+    /// Maximum transmission unit payload per frame, bytes.
+    pub mtu_bytes: u64,
+    /// Per-frame overhead in bytes (preamble + header + FCS + inter-frame
+    /// gap ≈ 38 B for Ethernet II).
+    pub frame_overhead_bytes: u64,
+    /// Fixed per-message protocol overhead in bytes (headers, marshalling);
+    /// this is what makes over-replication cost network capacity — more
+    /// replicas means more messages carrying the same total data.
+    pub per_message_overhead_bytes: u64,
+    /// One-way propagation + stack traversal latency added after
+    /// transmission completes.
+    pub propagation: SimDuration,
+    /// Latency of a node-local delivery (same src and dst; never touches
+    /// the medium).
+    pub local_delivery: SimDuration,
+    /// Maximum CSMA/CD-style contention backoff, microseconds: when a
+    /// queued message wins the medium, it first waits a random backoff in
+    /// `[0, max]` (the engine draws it) — 802.3's collision-avoidance
+    /// cost under contention. 0 (the default) models the idealized
+    /// collision-free segment used in the headline experiments.
+    pub max_backoff_us: u64,
+}
+
+impl BusConfig {
+    /// The paper's Table 1 segment: 100 Mbps Ethernet.
+    pub fn paper_baseline() -> Self {
+        BusConfig {
+            bandwidth_bps: 100_000_000.0,
+            mtu_bytes: 1500,
+            frame_overhead_bytes: 38,
+            per_message_overhead_bytes: 1024,
+            propagation: SimDuration::from_micros(20),
+            local_delivery: SimDuration::from_micros(50),
+            max_backoff_us: 0,
+        }
+    }
+
+    /// Wire time for a message of `size_bytes` application bytes, including
+    /// per-message and per-frame overhead.
+    pub fn wire_time(&self, size_bytes: u64) -> SimDuration {
+        assert!(self.bandwidth_bps > 0.0);
+        let total = size_bytes + self.per_message_overhead_bytes;
+        let frames = total.div_ceil(self.mtu_bytes).max(1);
+        let on_wire_bytes = total + frames * self.frame_overhead_bytes;
+        SimDuration::from_secs_f64((on_wire_bytes as f64) * 8.0 / self.bandwidth_bps)
+    }
+}
+
+/// The shared Ethernet segment.
+pub struct SharedBus {
+    config: BusConfig,
+    /// Messages waiting for the medium, FIFO.
+    queue: VecDeque<MsgId>,
+    /// Message currently on the wire and when it finishes.
+    transmitting: Option<(MsgId, SimTime)>,
+    /// All live messages (queued or in flight), by id.
+    messages: HashMap<MsgId, Message>,
+    next_id: u32,
+    /// Total time the medium has been busy (completed transmissions).
+    busy_accum: SimDuration,
+    busy_since: Option<SimTime>,
+    /// Total application payload bytes accepted.
+    pub bytes_offered: u64,
+    /// Count of messages accepted (including local ones).
+    pub messages_offered: u64,
+}
+
+/// What `SharedBus::send` decided to do with a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Local delivery: the engine should deliver at the given time without
+    /// any bus involvement.
+    DeliverLocally {
+        /// The message id assigned.
+        msg: MsgId,
+        /// Delivery instant.
+        at: SimTime,
+    },
+    /// Transmission started immediately; a `TxComplete` is due at the given
+    /// time.
+    Transmitting {
+        /// The message id assigned.
+        msg: MsgId,
+        /// Transmission completion instant.
+        tx_done: SimTime,
+    },
+    /// The medium is busy; the message joined the queue.
+    Queued {
+        /// The message id assigned.
+        msg: MsgId,
+    },
+}
+
+impl SharedBus {
+    /// Creates an idle bus.
+    pub fn new(config: BusConfig) -> Self {
+        SharedBus {
+            config,
+            queue: VecDeque::new(),
+            transmitting: None,
+            messages: HashMap::new(),
+            next_id: 0,
+            busy_accum: SimDuration::ZERO,
+            busy_since: None,
+            bytes_offered: 0,
+            messages_offered: 0,
+        }
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    fn alloc_id(&mut self) -> MsgId {
+        let id = MsgId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Accepts a message at time `now`.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u64,
+        payload: MsgPayload,
+    ) -> SendOutcome {
+        let id = self.alloc_id();
+        self.bytes_offered += size_bytes;
+        self.messages_offered += 1;
+        let mut msg = Message {
+            id,
+            src,
+            dst,
+            size_bytes,
+            payload,
+            enqueued: now,
+            tx_start: None,
+        };
+        if src == dst {
+            msg.tx_start = Some(now);
+            self.messages.insert(id, msg);
+            return SendOutcome::DeliverLocally {
+                msg: id,
+                at: now + self.config.local_delivery,
+            };
+        }
+        if self.transmitting.is_none() {
+            let done = now + self.config.wire_time(size_bytes);
+            msg.tx_start = Some(now);
+            self.messages.insert(id, msg);
+            self.transmitting = Some((id, done));
+            self.begin_busy(now);
+            SendOutcome::Transmitting { msg: id, tx_done: done }
+        } else {
+            self.messages.insert(id, msg);
+            self.queue.push_back(id);
+            SendOutcome::Queued { msg: id }
+        }
+    }
+
+    /// Completes the in-flight transmission at `now`. Returns the finished
+    /// message plus, if another message was waiting, its id and completion
+    /// time (the engine schedules the next `TxComplete`). `backoff` is the
+    /// contention backoff the engine drew for the next message (zero when
+    /// `max_backoff_us` is 0); the medium counts as busy during it, like a
+    /// real 802.3 contention interval.
+    ///
+    /// # Panics
+    /// Panics if nothing is transmitting or the completion time disagrees.
+    pub fn tx_complete(
+        &mut self,
+        now: SimTime,
+        backoff: SimDuration,
+    ) -> (Message, Option<(MsgId, SimTime)>) {
+        let (id, done) = self.transmitting.take().expect("tx_complete with idle bus");
+        assert_eq!(done, now, "tx_complete at wrong time");
+        let msg = self.messages.remove(&id).expect("transmitting message exists");
+        let next = self.queue.pop_front().map(|next_id| {
+            let next_msg = self.messages.get_mut(&next_id).expect("queued message exists");
+            next_msg.tx_start = Some(now + backoff);
+            let done = now + backoff + self.config.wire_time(next_msg.size_bytes);
+            self.transmitting = Some((next_id, done));
+            (next_id, done)
+        });
+        if next.is_none() {
+            self.end_busy(now);
+        }
+        (msg, next)
+    }
+
+    /// Removes and returns a locally-delivered message.
+    pub fn take_local(&mut self, id: MsgId) -> Message {
+        self.messages.remove(&id).expect("local message exists")
+    }
+
+    /// Propagation delay to add after transmission.
+    pub fn propagation(&self) -> SimDuration {
+        self.config.propagation
+    }
+
+    /// Number of messages waiting (not counting the one on the wire).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if a message is currently on the wire.
+    pub fn is_transmitting(&self) -> bool {
+        self.transmitting.is_some()
+    }
+
+    fn begin_busy(&mut self, now: SimTime) {
+        if self.busy_since.is_none() {
+            self.busy_since = Some(now);
+        }
+    }
+
+    fn end_busy(&mut self, now: SimTime) {
+        if let Some(since) = self.busy_since.take() {
+            self.busy_accum += now.since(since);
+        }
+    }
+
+    /// Total medium-busy time up to `now`.
+    pub fn busy_total(&self, now: SimTime) -> SimDuration {
+        match self.busy_since {
+            Some(since) => self.busy_accum + now.since(since),
+            None => self.busy_accum,
+        }
+    }
+
+    /// Lifetime-average medium utilization in `[0, 1]`.
+    pub fn lifetime_utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_total(now).as_secs_f64() / now.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{SubtaskIdx, TaskId};
+
+    fn payload() -> MsgPayload {
+        MsgPayload::StageData {
+            stage: StageId::new(TaskId(0), SubtaskIdx(1)),
+            replica: 0,
+            instance: 0,
+            tracks: 100,
+        }
+    }
+
+    fn bus() -> SharedBus {
+        SharedBus::new(BusConfig::paper_baseline())
+    }
+
+    #[test]
+    fn wire_time_matches_bandwidth() {
+        let cfg = BusConfig::paper_baseline();
+        // 1 MB + 1 KB overhead = 1_049_600 B -> 700 frames -> +26600 B framing.
+        let t = cfg.wire_time(1_048_576);
+        let expect_bytes = 1_048_576 + 1024 + 700 * 38;
+        let expect = (expect_bytes as f64) * 8.0 / 100e6;
+        assert!((t.as_secs_f64() - expect).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn wire_time_is_monotone_in_size() {
+        let cfg = BusConfig::paper_baseline();
+        let mut prev = SimDuration::ZERO;
+        for sz in [0u64, 80, 1500, 10_000, 1_000_000] {
+            let t = cfg.wire_time(sz);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn tiny_message_still_costs_one_frame() {
+        let cfg = BusConfig::paper_baseline();
+        assert!(cfg.wire_time(0) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn idle_bus_transmits_immediately() {
+        let mut b = bus();
+        let out = b.send(SimTime::ZERO, NodeId(0), NodeId(1), 8000, payload());
+        match out {
+            SendOutcome::Transmitting { tx_done, .. } => {
+                assert!(tx_done > SimTime::ZERO);
+            }
+            other => panic!("expected Transmitting, got {other:?}"),
+        }
+        assert!(b.is_transmitting());
+    }
+
+    #[test]
+    fn second_message_queues_behind_first() {
+        let mut b = bus();
+        let first = b.send(SimTime::ZERO, NodeId(0), NodeId(1), 8000, payload());
+        let SendOutcome::Transmitting { tx_done, .. } = first else {
+            panic!()
+        };
+        let second = b.send(SimTime::ZERO, NodeId(2), NodeId(3), 8000, payload());
+        assert!(matches!(second, SendOutcome::Queued { .. }));
+        assert_eq!(b.queue_len(), 1);
+
+        let (done_msg, next) = b.tx_complete(tx_done, SimDuration::ZERO);
+        assert_eq!(done_msg.src, NodeId(0));
+        let (next_id, next_done) = next.expect("queued message starts");
+        assert!(next_done > tx_done);
+        // Buffer delay of the second message equals the first's wire time.
+        let m = &b.messages[&next_id];
+        assert_eq!(m.buffer_delay().unwrap(), tx_done.since(SimTime::ZERO));
+    }
+
+    #[test]
+    fn local_messages_bypass_the_medium() {
+        let mut b = bus();
+        let out = b.send(SimTime::from_millis(5), NodeId(2), NodeId(2), 999_999, payload());
+        match out {
+            SendOutcome::DeliverLocally { msg, at } => {
+                assert_eq!(
+                    at,
+                    SimTime::from_millis(5) + BusConfig::paper_baseline().local_delivery
+                );
+                let m = b.take_local(msg);
+                assert_eq!(m.buffer_delay(), Some(SimDuration::ZERO));
+            }
+            other => panic!("expected local delivery, got {other:?}"),
+        }
+        assert!(!b.is_transmitting());
+        assert_eq!(b.busy_total(SimTime::from_secs(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut b = bus();
+        let SendOutcome::Transmitting { tx_done, .. } =
+            b.send(SimTime::ZERO, NodeId(0), NodeId(1), 125_000, payload())
+        else {
+            panic!()
+        };
+        b.tx_complete(tx_done, SimDuration::ZERO);
+        // ~10ms busy (1 Mbit at 100 Mbps plus overhead).
+        let u = b.lifetime_utilization(SimTime::from_millis(100));
+        assert!(u > 0.09 && u < 0.12, "utilization {u}");
+    }
+
+    #[test]
+    fn fifo_order_preserved_under_load() {
+        let mut b = bus();
+        let SendOutcome::Transmitting { tx_done, .. } =
+            b.send(SimTime::ZERO, NodeId(0), NodeId(1), 1000, payload())
+        else {
+            panic!()
+        };
+        for i in 0..5 {
+            let out = b.send(SimTime::ZERO, NodeId(i), NodeId(5), 1000, payload());
+            assert!(matches!(out, SendOutcome::Queued { .. }));
+        }
+        let mut srcs = Vec::new();
+        let mut t = tx_done;
+        let (first, mut next) = b.tx_complete(t, SimDuration::ZERO);
+        srcs.push(first.src.0);
+        while let Some((_, done)) = next {
+            t = done;
+            let (m, n) = b.tx_complete(t, SimDuration::ZERO);
+            srcs.push(m.src.0);
+            next = n;
+        }
+        assert_eq!(srcs, vec![0, 0, 1, 2, 3, 4]);
+        assert!(!b.is_transmitting());
+    }
+
+    #[test]
+    #[should_panic(expected = "idle bus")]
+    fn tx_complete_on_idle_bus_panics() {
+        bus().tx_complete(SimTime::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn contention_backoff_delays_next_transmission() {
+        let mut b = bus();
+        let SendOutcome::Transmitting { tx_done, .. } =
+            b.send(SimTime::ZERO, NodeId(0), NodeId(1), 1000, payload())
+        else {
+            panic!()
+        };
+        b.send(SimTime::ZERO, NodeId(2), NodeId(3), 1000, payload());
+        let backoff = SimDuration::from_micros(40);
+        let (_, next) = b.tx_complete(tx_done, backoff);
+        let (_, next_done) = next.expect("queued message starts");
+        let cfg = BusConfig::paper_baseline();
+        assert_eq!(next_done, tx_done + backoff + cfg.wire_time(1000));
+    }
+
+    #[test]
+    fn offered_counters_accumulate() {
+        let mut b = bus();
+        b.send(SimTime::ZERO, NodeId(0), NodeId(1), 100, payload());
+        b.send(SimTime::ZERO, NodeId(1), NodeId(1), 200, payload());
+        assert_eq!(b.bytes_offered, 300);
+        assert_eq!(b.messages_offered, 2);
+    }
+}

@@ -1,0 +1,486 @@
+//! Periodic pipeline tasks.
+//!
+//! A periodic task `T_i = [st_1, m_1, st_2, m_2, …, st_n, m_n]` (paper §3)
+//! is a serial chain of subtasks connected by messages: subtask `st_k`
+//! (k > 1) cannot execute before message `m_{k-1}` arrives. Subtasks can be
+//! **replicated** at run time; the replicas split the period's data stream
+//! and run concurrently on different processors (§3, item 6). This module
+//! holds the static task description, the per-stage cost model, the current
+//! replica placement `PS(st)`, and the in-flight state of period instances.
+
+use std::collections::HashMap;
+
+use crate::ids::{NodeId, StageId, SubtaskIdx, TaskId};
+use crate::time::{SimDuration, SimTime};
+
+/// Intrinsic CPU demand of one stage as a polynomial in the data size.
+///
+/// `demand_ms = quad·h² + lin·h + constant`, where `h` is the data size in
+/// **hundreds of tracks** — the unit Eq. (3) uses. The quadratic term models
+/// super-linear work such as pairwise correlation; it is what makes
+/// replication effective (splitting a quadratic workload k ways costs each
+/// replica 1/k² of the quadratic part).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PolynomialCost {
+    /// ms per (hundreds of tracks)².
+    pub quad: f64,
+    /// ms per hundreds of tracks.
+    pub lin: f64,
+    /// Fixed ms per activation.
+    pub constant: f64,
+}
+
+impl PolynomialCost {
+    /// Creates a cost model; all coefficients must be finite and the demand
+    /// non-negative over the domain (enforced as all-non-negative here).
+    pub fn new(quad: f64, lin: f64, constant: f64) -> Self {
+        assert!(
+            quad >= 0.0 && lin >= 0.0 && constant >= 0.0,
+            "cost coefficients must be non-negative"
+        );
+        assert!(quad.is_finite() && lin.is_finite() && constant.is_finite());
+        PolynomialCost { quad, lin, constant }
+    }
+
+    /// Purely linear cost.
+    pub fn linear(lin: f64, constant: f64) -> Self {
+        Self::new(0.0, lin, constant)
+    }
+
+    /// CPU demand for processing `tracks` data items.
+    pub fn demand(&self, tracks: u64) -> SimDuration {
+        let h = tracks as f64 / 100.0;
+        SimDuration::from_millis_f64(self.quad * h * h + self.lin * h + self.constant)
+    }
+}
+
+/// Static description of one pipeline stage (subtask).
+#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct StageSpec {
+    /// Human-readable name (e.g. "Filter").
+    pub name: String,
+    /// Intrinsic CPU cost.
+    pub cost: PolynomialCost,
+    /// Whether the resource manager may replicate this stage (§3 item 6;
+    /// Table 1 says 2 of the 5 subtasks are replicable).
+    pub replicable: bool,
+    /// Original placement of the stage.
+    pub home: NodeId,
+    /// Bytes of output produced per input track, defining the size of the
+    /// message to the next stage.
+    pub output_bytes_per_track: f64,
+}
+
+/// Static description of a periodic task.
+#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct TaskSpec {
+    /// Task id; must equal its index in the cluster's task table.
+    pub id: TaskId,
+    /// Human-readable name.
+    pub name: String,
+    /// Data arrival period `cy(T_i)` (Table 1: 1 s).
+    pub period: SimDuration,
+    /// Relative end-to-end deadline `dl(T_i)` (Table 1: 990 ms).
+    pub deadline: SimDuration,
+    /// Bytes per data item (Table 1: 80 B per track).
+    pub track_bytes: u64,
+    /// The serial chain of subtasks.
+    pub stages: Vec<StageSpec>,
+}
+
+impl TaskSpec {
+    /// Number of stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Indices of replicable stages.
+    pub fn replicable_stages(&self) -> Vec<SubtaskIdx> {
+        self.stages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.replicable)
+            .map(|(i, _)| SubtaskIdx::from_index(i))
+            .collect()
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self, n_nodes: usize) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err(format!("task {}: no stages", self.id));
+        }
+        if self.period.is_zero() {
+            return Err(format!("task {}: zero period", self.id));
+        }
+        if self.deadline.is_zero() {
+            return Err(format!("task {}: zero deadline", self.id));
+        }
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.home.index() >= n_nodes {
+                return Err(format!(
+                    "task {} stage {i}: home node {} out of range (cluster has {n_nodes})",
+                    self.id, s.home
+                ));
+            }
+            if !s.output_bytes_per_track.is_finite() || s.output_bytes_per_track < 0.0 {
+                return Err(format!("task {} stage {i}: bad output_bytes_per_track", self.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splits `tracks` data items as evenly as possible across `k` replicas
+/// (paper: each replica processes `1/k` of the total data size).
+pub fn split_tracks(tracks: u64, k: usize) -> Vec<u64> {
+    assert!(k > 0, "split among zero replicas");
+    let k64 = k as u64;
+    let base = tracks / k64;
+    let rem = (tracks % k64) as usize;
+    (0..k).map(|r| base + u64::from(r < rem)).collect()
+}
+
+/// Progress of one stage within one period instance.
+///
+/// Between a predecessor with `k_src` replicas and this stage's `k_dst`
+/// replicas, `max(k_src, k_dst)` messages carry the data stream (each
+/// source replica ships its share; each destination replica may receive
+/// several shares). A destination replica's CPU job is admitted once all
+/// of its expected messages have arrived.
+#[derive(Debug, Clone)]
+pub struct StageProgress {
+    /// When the stage's inputs were dispatched (predecessor completion, or
+    /// instance release for the first stage).
+    pub started: Option<SimTime>,
+    /// When all replicas finished executing.
+    pub completed: Option<SimTime>,
+    /// Per-replica count of inbound messages still expected before the
+    /// replica's job can start (0 for the first stage — fed by the sensor).
+    pub msgs_expected: Vec<u32>,
+    /// Per-replica count of inbound messages received so far.
+    pub msgs_received: Vec<u32>,
+    /// Per-replica tracks accumulated from received messages (for the
+    /// first stage, the share assigned at release).
+    pub tracks_in: Vec<u64>,
+    /// Per-replica worst observed inbound message delay
+    /// (buffer + transmission + propagation).
+    pub msg_delay: Vec<Option<SimDuration>>,
+    /// Per-replica observed execution latency (job release → completion).
+    pub exec_latency: Vec<Option<SimDuration>>,
+    /// Replicas whose CPU job has completed.
+    pub done_replicas: u32,
+}
+
+impl StageProgress {
+    fn new(replicas: usize) -> Self {
+        StageProgress {
+            started: None,
+            completed: None,
+            msgs_expected: vec![0; replicas],
+            msgs_received: vec![0; replicas],
+            tracks_in: vec![0; replicas],
+            msg_delay: vec![None; replicas],
+            exec_latency: vec![None; replicas],
+            done_replicas: 0,
+        }
+    }
+
+    /// Worst observed inbound message delay across replicas, if all known.
+    pub fn max_msg_delay(&self) -> Option<SimDuration> {
+        self.msg_delay
+            .iter()
+            .copied()
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(SimDuration::ZERO))
+    }
+
+    /// Worst observed execution latency across replicas, if all known.
+    pub fn max_exec_latency(&self) -> Option<SimDuration> {
+        self.exec_latency
+            .iter()
+            .copied()
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(SimDuration::ZERO))
+    }
+}
+
+/// One in-flight activation of a periodic task.
+#[derive(Debug, Clone)]
+pub struct InstanceState {
+    /// Period instance number (0-based).
+    pub instance: u64,
+    /// Release (data arrival) time.
+    pub released: SimTime,
+    /// Data items arriving this period: `ds(T_i, c)`.
+    pub tracks: u64,
+    /// Placement frozen at release: replica nodes per stage.
+    pub placement: Vec<Vec<NodeId>>,
+    /// Per-stage progress.
+    pub stages: Vec<StageProgress>,
+    /// Completion time of the last stage, once known.
+    pub completed: Option<SimTime>,
+    /// True if admission control shed this instance (released under
+    /// overload and never executed; counts as a miss).
+    pub shed: bool,
+}
+
+impl InstanceState {
+    /// Creates a fresh instance with the given frozen placement.
+    pub fn new(instance: u64, released: SimTime, tracks: u64, placement: Vec<Vec<NodeId>>) -> Self {
+        let stages = placement.iter().map(|p| StageProgress::new(p.len())).collect();
+        InstanceState {
+            instance,
+            released,
+            tracks,
+            placement,
+            stages,
+            completed: None,
+            shed: false,
+        }
+    }
+
+    /// End-to-end latency, once complete.
+    pub fn end_to_end(&self) -> Option<SimDuration> {
+        self.completed.map(|c| c.since(self.released))
+    }
+
+    /// Whether the instance missed the given relative deadline.
+    pub fn missed(&self, deadline: SimDuration) -> bool {
+        if self.shed {
+            return true;
+        }
+        match self.end_to_end() {
+            Some(l) => l > deadline,
+            None => false, // still running; undecided
+        }
+    }
+}
+
+/// Run-time state of a periodic task: spec, current placement, in-flight
+/// instances.
+pub struct TaskRuntime {
+    /// The static description.
+    pub spec: TaskSpec,
+    /// Current replica placement per stage: `PS(st_j)`, ordered with the
+    /// original processor first. Changes take effect at the next release.
+    pub placement: Vec<Vec<NodeId>>,
+    /// In-flight instances by instance number.
+    pub instances: HashMap<u64, InstanceState>,
+    /// Most recent workload (`ds` of the latest released instance).
+    pub last_tracks: u64,
+}
+
+impl TaskRuntime {
+    /// Creates the runtime with every stage placed singly on its home node.
+    pub fn new(spec: TaskSpec) -> Self {
+        let placement = spec.stages.iter().map(|s| vec![s.home]).collect();
+        TaskRuntime {
+            spec,
+            placement,
+            instances: HashMap::new(),
+            last_tracks: 0,
+        }
+    }
+
+    /// Replica count per stage under the current placement.
+    pub fn replica_counts(&self) -> Vec<u32> {
+        self.placement.iter().map(|p| p.len() as u32).collect()
+    }
+
+    /// Sets the placement of one stage. Invalid requests are rejected with
+    /// a reason (the cluster logs and ignores them, mirroring a resource
+    /// manager whose action failed).
+    pub fn set_placement(
+        &mut self,
+        stage: SubtaskIdx,
+        nodes: Vec<NodeId>,
+        n_cluster_nodes: usize,
+    ) -> Result<(), String> {
+        let idx = stage.index();
+        let Some(spec) = self.spec.stages.get(idx) else {
+            return Err(format!("stage {stage} out of range"));
+        };
+        if nodes.is_empty() {
+            return Err(format!("stage {stage}: empty placement"));
+        }
+        if !spec.replicable && nodes.len() > 1 {
+            return Err(format!("stage {stage} ({}) is not replicable", spec.name));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for n in &nodes {
+            if n.index() >= n_cluster_nodes {
+                return Err(format!("stage {stage}: node {n} out of range"));
+            }
+            if !seen.insert(*n) {
+                return Err(format!("stage {stage}: duplicate node {n}"));
+            }
+        }
+        self.placement[idx] = nodes;
+        Ok(())
+    }
+
+    /// Stage id helper.
+    pub fn stage_id(&self, stage: SubtaskIdx) -> StageId {
+        StageId::new(self.spec.id, stage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TaskSpec {
+        TaskSpec {
+            id: TaskId(0),
+            name: "t".into(),
+            period: SimDuration::from_secs(1),
+            deadline: SimDuration::from_millis(990),
+            track_bytes: 80,
+            stages: vec![
+                StageSpec {
+                    name: "a".into(),
+                    cost: PolynomialCost::linear(1.0, 0.5),
+                    replicable: false,
+                    home: NodeId(0),
+                    output_bytes_per_track: 80.0,
+                },
+                StageSpec {
+                    name: "b".into(),
+                    cost: PolynomialCost::new(0.01, 1.0, 0.0),
+                    replicable: true,
+                    home: NodeId(1),
+                    output_bytes_per_track: 40.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn polynomial_cost_evaluates_in_hundreds_of_tracks() {
+        let c = PolynomialCost::new(2.0, 3.0, 5.0);
+        // 250 tracks = 2.5 hundreds: 2*6.25 + 3*2.5 + 5 = 25 ms.
+        assert_eq!(c.demand(250), SimDuration::from_millis(25));
+        assert_eq!(c.demand(0), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn linear_cost_has_no_quadratic_term() {
+        let c = PolynomialCost::linear(2.0, 0.0);
+        assert_eq!(c.demand(100), SimDuration::from_millis(2));
+        assert_eq!(c.demand(200), SimDuration::from_millis(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_coefficients_rejected() {
+        let _ = PolynomialCost::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn split_tracks_is_even_and_exhaustive() {
+        assert_eq!(split_tracks(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_tracks(9, 3), vec![3, 3, 3]);
+        assert_eq!(split_tracks(2, 3), vec![1, 1, 0]);
+        assert_eq!(split_tracks(0, 2), vec![0, 0]);
+        for (t, k) in [(1000u64, 7usize), (17, 4), (5, 5)] {
+            let s = split_tracks(t, k);
+            assert_eq!(s.iter().sum::<u64>(), t);
+            let max = *s.iter().max().unwrap();
+            let min = *s.iter().min().unwrap();
+            assert!(max - min <= 1, "shares unbalanced: {s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replicas")]
+    fn split_among_zero_replicas_panics() {
+        split_tracks(5, 0);
+    }
+
+    #[test]
+    fn validate_catches_bad_specs() {
+        let mut s = spec();
+        assert!(s.validate(6).is_ok());
+        s.stages[1].home = NodeId(9);
+        assert!(s.validate(6).unwrap_err().contains("out of range"));
+        let mut s2 = spec();
+        s2.stages.clear();
+        assert!(s2.validate(6).unwrap_err().contains("no stages"));
+    }
+
+    #[test]
+    fn replicable_stage_listing() {
+        assert_eq!(spec().replicable_stages(), vec![SubtaskIdx(1)]);
+    }
+
+    #[test]
+    fn runtime_starts_with_home_placement() {
+        let rt = TaskRuntime::new(spec());
+        assert_eq!(rt.placement, vec![vec![NodeId(0)], vec![NodeId(1)]]);
+        assert_eq!(rt.replica_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn set_placement_enforces_replicability_and_validity() {
+        let mut rt = TaskRuntime::new(spec());
+        // Non-replicable stage cannot get 2 replicas.
+        let err = rt
+            .set_placement(SubtaskIdx(0), vec![NodeId(0), NodeId(1)], 6)
+            .unwrap_err();
+        assert!(err.contains("not replicable"));
+        // Replicable stage can.
+        rt.set_placement(SubtaskIdx(1), vec![NodeId(1), NodeId(3)], 6)
+            .unwrap();
+        assert_eq!(rt.replica_counts(), vec![1, 2]);
+        // Duplicates rejected.
+        assert!(rt
+            .set_placement(SubtaskIdx(1), vec![NodeId(2), NodeId(2)], 6)
+            .is_err());
+        // Out-of-range node rejected.
+        assert!(rt
+            .set_placement(SubtaskIdx(1), vec![NodeId(7)], 6)
+            .is_err());
+        // Empty rejected.
+        assert!(rt.set_placement(SubtaskIdx(1), vec![], 6).is_err());
+        // Out-of-range stage rejected.
+        assert!(rt.set_placement(SubtaskIdx(5), vec![NodeId(0)], 6).is_err());
+    }
+
+    #[test]
+    fn instance_deadline_accounting() {
+        let mut inst = InstanceState::new(
+            3,
+            SimTime::from_secs(3),
+            500,
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+        );
+        assert!(!inst.missed(SimDuration::from_millis(990)));
+        inst.completed = Some(SimTime::from_secs(3) + SimDuration::from_millis(1000));
+        assert_eq!(inst.end_to_end(), Some(SimDuration::from_millis(1000)));
+        assert!(inst.missed(SimDuration::from_millis(990)));
+        assert!(!inst.missed(SimDuration::from_millis(1200)));
+    }
+
+    #[test]
+    fn shed_instances_always_count_as_missed() {
+        let mut inst = InstanceState::new(0, SimTime::ZERO, 10, vec![vec![NodeId(0)]]);
+        inst.shed = true;
+        assert!(inst.missed(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn stage_progress_aggregates_worst_replica() {
+        let mut p = StageProgress::new(2);
+        assert_eq!(p.max_exec_latency(), None);
+        p.exec_latency[0] = Some(SimDuration::from_millis(5));
+        assert_eq!(p.max_exec_latency(), None, "one replica still unknown");
+        p.exec_latency[1] = Some(SimDuration::from_millis(9));
+        assert_eq!(p.max_exec_latency(), Some(SimDuration::from_millis(9)));
+        p.msg_delay = vec![Some(SimDuration::from_millis(1)), Some(SimDuration::from_millis(3))];
+        assert_eq!(p.max_msg_delay(), Some(SimDuration::from_millis(3)));
+    }
+}

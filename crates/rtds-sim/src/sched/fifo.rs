@@ -1,0 +1,92 @@
+//! FIFO run-to-completion scheduling (ablation policy).
+
+use std::collections::VecDeque;
+
+use super::CpuScheduler;
+use crate::ids::JobId;
+use crate::time::SimDuration;
+
+/// First-in-first-out, non-preemptive queue: each job runs to completion.
+///
+/// Under FIFO, a stage job's latency depends on the queue it happens to land
+/// behind rather than on time-averaged utilization, so the Eq. (3) fit is
+/// noticeably worse — a useful ablation of the paper's assumption that
+/// utilization summarizes contention.
+pub struct Fifo {
+    queue: VecDeque<JobId>,
+}
+
+impl Fifo {
+    /// Creates an empty FIFO queue.
+    pub fn new() -> Self {
+        Fifo {
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl Default for Fifo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuScheduler for Fifo {
+    fn enqueue(&mut self, job: JobId, _priority: u8) {
+        self.queue.push_back(job);
+    }
+
+    fn pick(&mut self) -> Option<JobId> {
+        self.queue.pop_front()
+    }
+
+    fn requeue(&mut self, job: JobId, _priority: u8) {
+        // Run-to-completion: requeue only happens if the engine imposed an
+        // external interruption; preserve position at the head.
+        self.queue.push_front(job);
+    }
+
+    fn quantum(&self) -> Option<SimDuration> {
+        None
+    }
+
+    fn ready_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strictly_fifo_order() {
+        let mut s = Fifo::new();
+        for i in 0..5 {
+            s.enqueue(JobId(i), 0);
+        }
+        for i in 0..5 {
+            assert_eq!(s.pick(), Some(JobId(i)));
+        }
+        assert_eq!(s.pick(), None);
+    }
+
+    #[test]
+    fn run_to_completion_has_no_quantum() {
+        assert_eq!(Fifo::new().quantum(), None);
+    }
+
+    #[test]
+    fn requeue_preserves_head_position() {
+        let mut s = Fifo::new();
+        s.enqueue(JobId(1), 0);
+        s.enqueue(JobId(2), 0);
+        let j = s.pick().unwrap();
+        s.requeue(j, 0);
+        assert_eq!(s.pick(), Some(JobId(1)), "interrupted job resumes first");
+    }
+}

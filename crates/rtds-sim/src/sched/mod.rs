@@ -1,0 +1,113 @@
+//! CPU scheduling policies.
+//!
+//! The paper's testbed runs a round-robin scheduler with a 1 ms time slice
+//! (Table 1); [`RoundRobin`] reproduces it. [`Fifo`] (run-to-completion)
+//! and [`StaticPriority`] are provided for ablation studies — the latency
+//! inflation that the Eq. (3) regression captures depends on the policy, and
+//! comparing policies shows the regression pipeline adapting to each.
+
+mod fifo;
+mod priority;
+mod round_robin;
+
+pub use fifo::Fifo;
+pub use priority::StaticPriority;
+pub use round_robin::RoundRobin;
+
+use crate::ids::JobId;
+use crate::time::SimDuration;
+
+/// A ready-queue policy for one node's CPU.
+///
+/// The scheduler only orders job ids; the engine owns job state (remaining
+/// service time) and drives dispatch at quantum boundaries.
+pub trait CpuScheduler: Send {
+    /// Admits a newly released job to the ready set.
+    fn enqueue(&mut self, job: JobId, priority: u8);
+
+    /// Removes and returns the next job to run, if any.
+    fn pick(&mut self) -> Option<JobId>;
+
+    /// Returns a job whose quantum expired (still unfinished) to the ready
+    /// set.
+    fn requeue(&mut self, job: JobId, priority: u8);
+
+    /// The time slice after which an unfinished job is put back, or `None`
+    /// for run-to-completion.
+    fn quantum(&self) -> Option<SimDuration>;
+
+    /// Number of ready (not currently running) jobs.
+    fn ready_len(&self) -> usize;
+
+    /// True if nothing is ready.
+    fn is_idle(&self) -> bool {
+        self.ready_len() == 0
+    }
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Which built-in policy to instantiate on each node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum SchedulerKind {
+    /// Round-robin with the given quantum (the paper's baseline is 1 ms).
+    RoundRobin {
+        /// Time-slice in microseconds.
+        quantum_us: u64,
+    },
+    /// FIFO, run-to-completion.
+    Fifo,
+    /// Non-preemptive static priority (lower number served first), with an
+    /// optional quantum applied *within* a priority level.
+    StaticPriority {
+        /// Optional intra-level time-slice in microseconds.
+        quantum_us: Option<u64>,
+    },
+}
+
+impl SchedulerKind {
+    /// The paper's baseline: round-robin, 1 ms slice.
+    pub fn paper_baseline() -> Self {
+        SchedulerKind::RoundRobin { quantum_us: 1_000 }
+    }
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn CpuScheduler> {
+        match self {
+            SchedulerKind::RoundRobin { quantum_us } => {
+                Box::new(RoundRobin::new(SimDuration::from_micros(quantum_us)))
+            }
+            SchedulerKind::Fifo => Box::new(Fifo::new()),
+            SchedulerKind::StaticPriority { quantum_us } => Box::new(StaticPriority::new(
+                quantum_us.map(SimDuration::from_micros),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_is_1ms_round_robin() {
+        let s = SchedulerKind::paper_baseline().build();
+        assert_eq!(s.quantum(), Some(SimDuration::from_millis(1)));
+        assert_eq!(s.name(), "round-robin");
+    }
+
+    #[test]
+    fn build_dispatches_to_each_policy() {
+        assert_eq!(SchedulerKind::Fifo.build().name(), "fifo");
+        assert_eq!(
+            SchedulerKind::StaticPriority { quantum_us: None }.build().name(),
+            "static-priority"
+        );
+        assert_eq!(
+            SchedulerKind::RoundRobin { quantum_us: 500 }.build().quantum(),
+            Some(SimDuration::from_micros(500))
+        );
+    }
+}

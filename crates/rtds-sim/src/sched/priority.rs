@@ -1,0 +1,138 @@
+//! Static-priority scheduling (ablation policy).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use super::CpuScheduler;
+use crate::ids::JobId;
+use crate::time::SimDuration;
+
+/// Non-preemptive static priority with optional round-robin within a level.
+///
+/// Lower priority numbers are served first. With a quantum set, jobs at the
+/// same level time-share round-robin style; without one, each job runs to
+/// completion. Useful for studying how the predictive algorithm behaves
+/// when application stages are shielded from background load (give stages
+/// priority 0 and background priority 1): contention collapses and the
+/// fitted Eq. (3) `u` terms flatten.
+pub struct StaticPriority {
+    levels: BTreeMap<u8, VecDeque<JobId>>,
+    quantum: Option<SimDuration>,
+    len: usize,
+}
+
+impl StaticPriority {
+    /// Creates the scheduler; `quantum` enables intra-level time slicing.
+    pub fn new(quantum: Option<SimDuration>) -> Self {
+        if let Some(q) = quantum {
+            assert!(!q.is_zero(), "priority quantum must be positive if set");
+        }
+        StaticPriority {
+            levels: BTreeMap::new(),
+            quantum,
+            len: 0,
+        }
+    }
+}
+
+impl CpuScheduler for StaticPriority {
+    fn enqueue(&mut self, job: JobId, priority: u8) {
+        self.levels.entry(priority).or_default().push_back(job);
+        self.len += 1;
+    }
+
+    fn pick(&mut self) -> Option<JobId> {
+        let (&prio, _) = self.levels.iter().find(|(_, q)| !q.is_empty())?;
+        let q = self.levels.get_mut(&prio).expect("level exists");
+        let job = q.pop_front();
+        if job.is_some() {
+            self.len -= 1;
+        }
+        if q.is_empty() {
+            self.levels.remove(&prio);
+        }
+        job
+    }
+
+    fn requeue(&mut self, job: JobId, priority: u8) {
+        // Quantum expiry within a level rotates to the level's tail.
+        self.enqueue(job, priority);
+    }
+
+    fn quantum(&self) -> Option<SimDuration> {
+        self.quantum
+    }
+
+    fn ready_len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &'static str {
+        "static-priority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_number_served_first() {
+        let mut s = StaticPriority::new(None);
+        s.enqueue(JobId(10), 2);
+        s.enqueue(JobId(20), 0);
+        s.enqueue(JobId(30), 1);
+        assert_eq!(s.pick(), Some(JobId(20)));
+        assert_eq!(s.pick(), Some(JobId(30)));
+        assert_eq!(s.pick(), Some(JobId(10)));
+    }
+
+    #[test]
+    fn fifo_within_a_level() {
+        let mut s = StaticPriority::new(None);
+        s.enqueue(JobId(1), 1);
+        s.enqueue(JobId(2), 1);
+        s.enqueue(JobId(3), 1);
+        assert_eq!(s.pick(), Some(JobId(1)));
+        assert_eq!(s.pick(), Some(JobId(2)));
+        assert_eq!(s.pick(), Some(JobId(3)));
+    }
+
+    #[test]
+    fn requeue_rotates_within_level() {
+        let mut s = StaticPriority::new(Some(SimDuration::from_millis(1)));
+        s.enqueue(JobId(1), 1);
+        s.enqueue(JobId(2), 1);
+        let j = s.pick().unwrap();
+        s.requeue(j, 1);
+        assert_eq!(s.pick(), Some(JobId(2)));
+    }
+
+    #[test]
+    fn high_priority_arrival_wins_next_pick() {
+        let mut s = StaticPriority::new(None);
+        s.enqueue(JobId(1), 5);
+        s.enqueue(JobId(2), 5);
+        s.pick();
+        s.enqueue(JobId(3), 0);
+        assert_eq!(s.pick(), Some(JobId(3)), "urgent job jumps the queue");
+    }
+
+    #[test]
+    fn len_is_maintained_across_levels() {
+        let mut s = StaticPriority::new(None);
+        assert!(s.is_idle());
+        s.enqueue(JobId(1), 0);
+        s.enqueue(JobId(2), 7);
+        assert_eq!(s.ready_len(), 2);
+        s.pick();
+        assert_eq!(s.ready_len(), 1);
+        s.pick();
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn zero_quantum_rejected() {
+        let _ = StaticPriority::new(Some(SimDuration::ZERO));
+    }
+}

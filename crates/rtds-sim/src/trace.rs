@@ -1,0 +1,231 @@
+//! Structured run tracing.
+//!
+//! A lightweight, allocation-conscious event trace the cluster can emit
+//! into: one [`TraceEvent`] per interesting state change (release, stage
+//! completion, message delivery, placement change, shedding, node
+//! failure). Tests assert against traces instead of printf-debugging, and
+//! the `aaw_mission` example renders one. Disabled by default — a
+//! [`TraceSink`] is opt-in and bounded.
+
+use crate::ids::{NodeId, StageId};
+use crate::time::{SimDuration, SimTime};
+
+/// One traced state change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A period instance was released with this many tracks.
+    Release {
+        /// Instance number.
+        instance: u64,
+        /// Data items this period.
+        tracks: u64,
+    },
+    /// A period instance was shed by admission control.
+    Shed {
+        /// Instance number.
+        instance: u64,
+    },
+    /// One replica of a stage finished its CPU job.
+    ReplicaDone {
+        /// Stage.
+        stage: StageId,
+        /// Replica index.
+        replica: u32,
+        /// Instance number.
+        instance: u64,
+        /// Observed execution latency.
+        latency: SimDuration,
+    },
+    /// All replicas of a stage finished.
+    StageDone {
+        /// Stage.
+        stage: StageId,
+        /// Instance number.
+        instance: u64,
+    },
+    /// An instance completed end-to-end.
+    InstanceDone {
+        /// Instance number.
+        instance: u64,
+        /// End-to-end latency.
+        latency: SimDuration,
+        /// Whether the deadline was missed.
+        missed: bool,
+    },
+    /// A placement change took effect.
+    Placement {
+        /// Stage whose replica set changed.
+        stage: StageId,
+        /// New replica nodes.
+        nodes: Vec<NodeId>,
+    },
+    /// A node failed (fault injection).
+    NodeFailed {
+        /// The failed node.
+        node: NodeId,
+    },
+}
+
+/// A bounded in-memory trace sink.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    events: Vec<(SimTime, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// Creates a sink holding at most `capacity` events; further events
+    /// are counted but dropped (the run never OOMs because of tracing).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity trace sink");
+        TraceSink {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event at `now`.
+    pub fn record(&mut self, now: SimTime, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push((now, event));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of events dropped after the sink filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events matching a predicate.
+    pub fn filtered<'a>(
+        &'a self,
+        mut pred: impl FnMut(&TraceEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a (SimTime, TraceEvent)> + 'a {
+        self.events.iter().filter(move |(_, e)| pred(e))
+    }
+
+    /// Renders a human-readable log.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (t, e) in &self.events {
+            let _ = match e {
+                TraceEvent::Release { instance, tracks } => {
+                    writeln!(out, "{t} release   #{instance} tracks={tracks}")
+                }
+                TraceEvent::Shed { instance } => writeln!(out, "{t} SHED      #{instance}"),
+                TraceEvent::ReplicaDone {
+                    stage,
+                    replica,
+                    instance,
+                    latency,
+                } => writeln!(out, "{t} replica   {stage}[{replica}] #{instance} {latency}"),
+                TraceEvent::StageDone { stage, instance } => {
+                    writeln!(out, "{t} stage     {stage} #{instance}")
+                }
+                TraceEvent::InstanceDone {
+                    instance,
+                    latency,
+                    missed,
+                } => writeln!(
+                    out,
+                    "{t} done      #{instance} {latency}{}",
+                    if *missed { " MISSED" } else { "" }
+                ),
+                TraceEvent::Placement { stage, nodes } =>
+
+                    writeln!(out, "{t} placement {stage} -> {nodes:?}"),
+                TraceEvent::NodeFailed { node } => writeln!(out, "{t} FAILURE   {node}"),
+            };
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "({} further events dropped)", self.dropped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{SubtaskIdx, TaskId};
+
+    fn stage() -> StageId {
+        StageId::new(TaskId(0), SubtaskIdx(2))
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut s = TraceSink::bounded(10);
+        s.record(SimTime::from_millis(1), TraceEvent::Release { instance: 0, tracks: 7 });
+        s.record(
+            SimTime::from_millis(2),
+            TraceEvent::StageDone { stage: stage(), instance: 0 },
+        );
+        assert_eq!(s.events().len(), 2);
+        assert!(s.events()[0].0 < s.events()[1].0);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_sink_drops_overflow_without_losing_count() {
+        let mut s = TraceSink::bounded(2);
+        for i in 0..5 {
+            s.record(SimTime::from_millis(i), TraceEvent::Shed { instance: i });
+        }
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(s.dropped(), 3);
+        assert!(s.render().contains("3 further events dropped"));
+    }
+
+    #[test]
+    fn filtered_selects_matching_kinds() {
+        let mut s = TraceSink::bounded(16);
+        s.record(SimTime::ZERO, TraceEvent::Release { instance: 0, tracks: 1 });
+        s.record(SimTime::ZERO, TraceEvent::NodeFailed { node: NodeId(3) });
+        s.record(SimTime::ZERO, TraceEvent::Release { instance: 1, tracks: 2 });
+        let releases: Vec<_> = s
+            .filtered(|e| matches!(e, TraceEvent::Release { .. }))
+            .collect();
+        assert_eq!(releases.len(), 2);
+    }
+
+    #[test]
+    fn render_is_line_oriented_and_labeled() {
+        let mut s = TraceSink::bounded(8);
+        s.record(
+            SimTime::from_millis(5),
+            TraceEvent::InstanceDone {
+                instance: 3,
+                latency: SimDuration::from_millis(700),
+                missed: true,
+            },
+        );
+        s.record(
+            SimTime::from_millis(6),
+            TraceEvent::Placement {
+                stage: stage(),
+                nodes: vec![NodeId(2), NodeId(5)],
+            },
+        );
+        let r = s.render();
+        assert!(r.contains("MISSED"));
+        assert!(r.contains("placement"));
+        assert_eq!(r.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TraceSink::bounded(0);
+    }
+}

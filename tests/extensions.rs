@@ -1,0 +1,254 @@
+//! Integration tests for the extension features: multi-task management,
+//! online model refinement, and control latency.
+
+use rtds::arm::config::ArmConfig;
+use rtds::arm::manager::{CompositeManager, ResourceManager};
+use rtds::arm::predictor::analytic_predictor;
+use rtds::dynbench::app::{aaw_task, surveillance_task};
+use rtds::experiments::models::{quick_predictor, LINK_BPS};
+use rtds::prelude::*;
+use rtds::regression::BufferDelayModel;
+
+fn comm() -> CommDelayModel {
+    CommDelayModel::new(BufferDelayModel::from_slope(0.0005), LINK_BPS)
+}
+
+#[test]
+fn two_tasks_coexist_under_composite_management() {
+    let mut cluster = Cluster::new({
+        let mut c = ClusterConfig::paper_baseline(11, SimDuration::from_secs(40));
+        c.clock = ClockConfig::perfect();
+        c
+    });
+    let aaw = aaw_task();
+    let surv = surveillance_task(TaskId(1));
+    cluster.add_task(aaw.clone(), Box::new(|i| 500 + (i % 15) * 800));
+    cluster.add_task(surv.clone(), Box::new(|i| 500 + ((i + 7) % 15) * 600));
+    let m0 = ResourceManager::new(ArmConfig::paper_predictive(), analytic_predictor(&aaw, comm()));
+    let m1 = ResourceManager::new(ArmConfig::paper_predictive(), analytic_predictor(&surv, comm()))
+        .for_task(TaskId(1));
+    cluster.set_controller(Box::new(CompositeManager::new(vec![m0, m1])));
+    let out = cluster.run();
+
+    // Period records interleave the two tasks' releases; both must be
+    // overwhelmingly deadline-clean (light-to-moderate combined load).
+    let (mut aaw_ok, mut surv_ok) = (0, 0);
+    for (i, p) in out.metrics.periods.iter().enumerate() {
+        if p.missed == Some(false) {
+            if i % 2 == 0 {
+                aaw_ok += 1;
+            } else {
+                surv_ok += 1;
+            }
+        }
+    }
+    assert!(aaw_ok >= 35, "AAW task healthy: {aaw_ok}");
+    assert!(surv_ok >= 35, "surveillance task healthy: {surv_ok}");
+    // Each record carries the right per-task stage arity.
+    for (i, p) in out.metrics.periods.iter().enumerate() {
+        assert_eq!(p.replicas_per_stage.len(), if i % 2 == 0 { 5 } else { 3 });
+    }
+}
+
+#[test]
+fn total_periodic_workload_feeds_eq5_across_tasks() {
+    // With two tasks, the controller's ControlContext.total_tracks must
+    // be the sum of both tasks' current workloads.
+    struct Probe {
+        seen: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+    }
+    impl Controller for Probe {
+        fn on_period_boundary(
+            &mut self,
+            _c: &[PeriodObservation],
+            ctx: &ControlContext,
+        ) -> Vec<ControlAction> {
+            self.seen.lock().unwrap().push(ctx.total_tracks());
+            Vec::new()
+        }
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+    }
+    let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut cluster = Cluster::new({
+        let mut c = ClusterConfig::paper_baseline(12, SimDuration::from_secs(5));
+        c.clock = ClockConfig::perfect();
+        c
+    });
+    cluster.add_task(aaw_task(), Box::new(|_| 3_000));
+    cluster.add_task(surveillance_task(TaskId(1)), Box::new(|_| 2_000));
+    cluster.set_controller(Box::new(Probe { seen: seen.clone() }));
+    cluster.run();
+    let v = seen.lock().unwrap().clone();
+    // After both tasks have released at least once, total = 5000.
+    assert!(v.contains(&5_000), "{v:?}");
+}
+
+#[test]
+fn composite_manager_supports_mixed_policies() {
+    // Task 0 managed predictively, task 1 by the non-predictive rule —
+    // policies coexist on one cluster without interfering.
+    let mut cluster = Cluster::new({
+        let mut c = ClusterConfig::paper_baseline(21, SimDuration::from_secs(30));
+        c.clock = ClockConfig::perfect();
+        c
+    });
+    let aaw = aaw_task();
+    let surv = surveillance_task(TaskId(1));
+    cluster.add_task(aaw.clone(), Box::new(|i| 500 + (i % 12) * 1_000));
+    cluster.add_task(surv.clone(), Box::new(|i| 500 + ((i + 6) % 12) * 700));
+    let m0 = ResourceManager::new(ArmConfig::paper_predictive(), analytic_predictor(&aaw, comm()));
+    let m1 = ResourceManager::new(
+        ArmConfig::paper_nonpredictive(),
+        analytic_predictor(&surv, comm()),
+    )
+    .for_task(TaskId(1));
+    cluster.set_controller(Box::new(CompositeManager::new(vec![m0, m1])));
+    let out = cluster.run();
+    let ok = out
+        .metrics
+        .periods
+        .iter()
+        .filter(|p| p.missed == Some(false))
+        .count();
+    assert!(ok >= 50, "both tasks mostly healthy: {ok}");
+    assert_eq!(out.metrics.rejected_actions, 0);
+}
+
+#[test]
+fn incremental_policy_adapts_one_replica_at_a_time() {
+    let p = quick_predictor();
+    let scenario = ScenarioConfig {
+        pattern: PatternSpec::Triangular { half_period: 10 },
+        policy: PolicySpec::Incremental,
+        workload: WorkloadRange::new(500, 14_000),
+        n_periods: 50,
+        ambient_util: 0.10,
+        seed: 22,
+        scheduler: SchedulerKind::paper_baseline(),
+        online_refinement: false,
+        failures: Vec::new(),
+    };
+    let r = run_scenario(&scenario, &p);
+    assert_eq!(r.policy, "incremental");
+    assert!(r.summary.avg_replicas > 1.0, "it replicates: {:?}", r.summary);
+    // One-at-a-time growth: replica count never jumps by more than one
+    // per stage per period.
+    for w in r.metrics.periods.windows(2) {
+        for (a, b) in w[0].replicas_per_stage.iter().zip(&w[1].replicas_per_stage) {
+            assert!(
+                *b <= a + 1,
+                "incremental must not jump: {} -> {}",
+                a,
+                b
+            );
+        }
+    }
+}
+
+#[test]
+fn online_refinement_recovers_a_bad_prior() {
+    // 3x underestimating predictor: without refinement the manager's
+    // feedback loop over-replicates; with RLS it converges back to the
+    // calibrated behaviour.
+    use rtds::regression::ExecLatencyModel;
+    let good = quick_predictor();
+    let mut bad = good.clone();
+    for j in 0..good.n_stages() {
+        let m = good.exec_model(j);
+        bad.set_exec_model(
+            j,
+            ExecLatencyModel::from_coefficients(
+                [m.a[0] / 3.0, m.a[1] / 3.0, m.a[2] / 3.0],
+                [m.b[0] / 3.0, m.b[1] / 3.0, m.b[2] / 3.0],
+            ),
+        );
+    }
+    let run = |refine: bool, predictor: &rtds::arm::predictor::Predictor| {
+        let scenario = ScenarioConfig {
+            pattern: PatternSpec::Triangular { half_period: 10 },
+            policy: PolicySpec::Predictive,
+            workload: WorkloadRange::new(500, 14_000),
+            n_periods: 80,
+            ambient_util: 0.10,
+            seed: 13,
+            scheduler: SchedulerKind::paper_baseline(),
+            online_refinement: refine,
+            failures: Vec::new(),
+        };
+        run_scenario(&scenario, predictor)
+    };
+    let calibrated = run(false, &good);
+    let bad_static = run(false, &bad);
+    let bad_refined = run(true, &bad);
+    // Refinement pulls the mis-calibrated run toward the calibrated one.
+    let gap_static = (bad_static.breakdown.combined - calibrated.breakdown.combined).abs();
+    let gap_refined = (bad_refined.breakdown.combined - calibrated.breakdown.combined).abs();
+    assert!(
+        gap_refined < gap_static,
+        "refinement must close the gap: static {gap_static:.2} vs refined {gap_refined:.2}"
+    );
+}
+
+#[test]
+fn act_every_gates_actions_but_not_monitoring() {
+    let run = |act_every: u32| {
+        let mut cluster = Cluster::new({
+            let mut c = ClusterConfig::paper_baseline(14, SimDuration::from_secs(40));
+            c.clock = ClockConfig::perfect();
+            c
+        });
+        let mut pattern =
+            rtds::workloads::Step::new(rtds::workloads::WorkloadRange::new(500, 14_000), 5, 5);
+        cluster.add_task(
+            aaw_task(),
+            Box::new(move |i| rtds::workloads::Pattern::tracks_at(&mut pattern, i)),
+        );
+        let mut cfg = ArmConfig::paper_predictive();
+        cfg.act_every = act_every;
+        cluster.set_controller(Box::new(ResourceManager::new(cfg, quick_predictor())));
+        cluster.run().metrics.summarize(&[2, 4])
+    };
+    let fast = run(1);
+    let slow = run(4);
+    // Slow control issues fewer placement changes…
+    assert!(
+        slow.placement_changes < fast.placement_changes,
+        "slow {} vs fast {}",
+        slow.placement_changes,
+        fast.placement_changes
+    );
+    // …and both still adapt (some replication happens under the square
+    // wave at 14k tracks).
+    assert!(fast.avg_replicas > 1.0);
+    assert!(slow.avg_replicas > 1.0);
+}
+
+#[test]
+fn failures_via_scenario_config_reach_the_cluster() {
+    let p = quick_predictor();
+    let mut cfg = ScenarioConfig {
+        pattern: PatternSpec::Triangular { half_period: 10 },
+        policy: PolicySpec::Predictive,
+        workload: WorkloadRange::new(500, 8_000),
+        n_periods: 40,
+        ambient_util: 0.0,
+        seed: 15,
+        scheduler: SchedulerKind::paper_baseline(),
+        online_refinement: false,
+        failures: vec![(4, 15)], // EvalDecide home dies at t = 15 s
+    };
+    let failed = run_scenario(&cfg, &p);
+    cfg.failures.clear();
+    let clean = run_scenario(&cfg, &p);
+    assert!(clean.summary.missed_deadline_pct <= failed.summary.missed_deadline_pct);
+    // The managed run survives: most post-failure periods complete.
+    let post_ok = failed
+        .metrics
+        .periods
+        .iter()
+        .filter(|r| r.instance >= 20 && r.missed == Some(false))
+        .count();
+    assert!(post_ok >= 15, "post-failure recovery: {post_ok} clean periods");
+}

@@ -1,0 +1,198 @@
+//! Survivability tests: node failures under adaptive management.
+//!
+//! "Continued availability of application functionality" is the paper's
+//! stated motivation for decentralized adaptive resource management (§1);
+//! these tests inject node deaths and verify the manager repairs replica
+//! placements and the mission keeps meeting deadlines.
+
+use rtds::arm::config::ArmConfig;
+use rtds::arm::manager::ResourceManager;
+use rtds::dynbench::app::{aaw_task, FILTER_STAGE};
+use rtds::experiments::models::quick_predictor;
+use rtds::prelude::*;
+
+fn managed_cluster(seed: u64, horizon_s: u64, tracks: u64) -> Cluster {
+    let mut config = ClusterConfig::paper_baseline(seed, SimDuration::from_secs(horizon_s));
+    config.clock = ClockConfig::perfect();
+    let mut cluster = Cluster::new(config);
+    cluster.add_task(aaw_task(), Box::new(move |_| tracks));
+    cluster.set_controller(Box::new(ResourceManager::new(
+        ArmConfig::paper_predictive(),
+        quick_predictor(),
+    )));
+    cluster
+}
+
+#[test]
+fn spare_node_failure_is_invisible() {
+    // Node 5 hosts nothing at low workload; killing it must not affect
+    // the task at all.
+    let run = |fail: bool| {
+        let mut c = managed_cluster(1, 20, 2_000);
+        if fail {
+            c.fail_node_at(NodeId(5), SimTime::from_secs(5));
+        }
+        c.run()
+    };
+    let clean = run(false);
+    let failed = run(true);
+    let miss = |o: &rtds::sim::cluster::RunOutcome| {
+        o.metrics.summarize(&[2, 4]).missed_deadline_pct
+    };
+    assert_eq!(miss(&clean), 0.0);
+    assert_eq!(miss(&failed), 0.0, "spare failure must be invisible");
+}
+
+#[test]
+fn home_node_failure_fails_inflight_then_recovers() {
+    // Kill the Filter home node (p2) mid-run: the in-flight instance dies,
+    // the manager re-homes the stage, and subsequent periods complete.
+    let mut c = managed_cluster(2, 30, 6_000);
+    c.enable_trace(100_000);
+    c.fail_node_at(NodeId(FILTER_STAGE as u32), SimTime::from_millis(10_100));
+    let out = c.run();
+
+    // Some instance around the failure misses…
+    let missed: Vec<u64> = out
+        .metrics
+        .periods
+        .iter()
+        .filter(|p| p.missed == Some(true))
+        .map(|p| p.instance)
+        .collect();
+    assert!(!missed.is_empty(), "the in-flight instance must be lost");
+    assert!(
+        missed.iter().all(|&i| (9..=13).contains(&i)),
+        "losses confined to the failure window: {missed:?}"
+    );
+    // …and the tail of the run is clean again.
+    let tail_misses = out
+        .metrics
+        .periods
+        .iter()
+        .filter(|p| p.instance >= 15 && p.missed == Some(true))
+        .count();
+    assert_eq!(tail_misses, 0, "recovery after repair");
+    // The repaired placement avoids the dead node forever after.
+    for p in out.metrics.periods.iter().filter(|p| p.instance >= 13) {
+        assert!(p.replicas_per_stage[FILTER_STAGE] >= 1);
+    }
+    // Trace contains the failure and a placement repair.
+    let trace = out.trace.expect("tracing enabled");
+    assert!(trace
+        .filtered(|e| matches!(e, TraceEvent::NodeFailed { node } if node.index() == FILTER_STAGE))
+        .next()
+        .is_some());
+    assert!(
+        trace
+            .filtered(|e| matches!(e, TraceEvent::Placement { stage, nodes }
+                if stage.subtask.index() == FILTER_STAGE
+                   && !nodes.iter().any(|n| n.index() == FILTER_STAGE)))
+            .next()
+            .is_some(),
+        "manager must re-place Filter off the dead node"
+    );
+}
+
+#[test]
+fn replica_host_failure_under_heavy_load_recovers() {
+    // Heavy load forces replication; then one replica host dies. The
+    // manager must keep the pipeline alive on the remaining nodes.
+    let mut c = managed_cluster(3, 40, 14_000);
+    c.fail_node_at(NodeId(5), SimTime::from_secs(20));
+    let out = c.run();
+    let late = |from: u64| {
+        out.metrics
+            .periods
+            .iter()
+            .filter(|p| p.instance >= from && p.missed.is_some())
+            .filter(|p| p.missed == Some(true))
+            .count()
+    };
+    // After a settling window the system is meeting deadlines again.
+    assert!(
+        late(26) <= 1,
+        "post-failure steady state should be nearly clean ({} late misses)",
+        late(26)
+    );
+    // The dead node hosts nothing after the failure settles.
+    for p in &out.metrics.periods {
+        if p.instance >= 25 {
+            assert!(p.missed.is_some() || p.instance >= 39, "decided");
+        }
+    }
+}
+
+#[test]
+fn multiple_failures_degrade_gracefully() {
+    // Kill three of six nodes; with half the cluster gone at peak load the
+    // system sheds/misses more but never wedges, and still completes
+    // periods on the survivors.
+    let mut c = managed_cluster(4, 40, 12_000);
+    c.fail_node_at(NodeId(5), SimTime::from_secs(10));
+    c.fail_node_at(NodeId(4), SimTime::from_secs(15)); // EvalDecide home!
+    c.fail_node_at(NodeId(1), SimTime::from_secs(20)); // Preprocess home!
+    let out = c.run();
+    let completed_late = out
+        .metrics
+        .periods
+        .iter()
+        .filter(|p| p.instance >= 30 && p.missed == Some(false))
+        .count();
+    assert!(
+        completed_late >= 5,
+        "the mission must keep completing periods on 3 surviving nodes \
+         ({completed_late} clean periods after instance 30)"
+    );
+}
+
+#[test]
+fn failure_without_manager_is_fatal_for_the_stage() {
+    // Null controller: once the Filter home dies, every later instance
+    // dies with it. This is the counterfactual that makes the manager's
+    // repair meaningful.
+    let mut config = ClusterConfig::paper_baseline(5, SimDuration::from_secs(20));
+    config.clock = ClockConfig::perfect();
+    let mut c = Cluster::new(config);
+    c.add_task(aaw_task(), Box::new(|_| 3_000));
+    c.fail_node_at(NodeId(FILTER_STAGE as u32), SimTime::from_secs(5));
+    let out = c.run();
+    let after_failure_ok = out
+        .metrics
+        .periods
+        .iter()
+        .filter(|p| p.instance >= 6 && p.missed == Some(false))
+        .count();
+    assert_eq!(after_failure_ok, 0, "no instance can pass a dead stage");
+}
+
+#[test]
+fn dead_node_placement_actions_are_rejected() {
+    // A controller that insists on placing replicas on a dead node gets
+    // its actions rejected rather than corrupting the run.
+    struct Insister;
+    impl Controller for Insister {
+        fn on_period_boundary(
+            &mut self,
+            _c: &[PeriodObservation],
+            _ctx: &ControlContext,
+        ) -> Vec<ControlAction> {
+            vec![ControlAction::SetPlacement {
+                task: TaskId(0),
+                subtask: SubtaskIdx(2),
+                nodes: vec![NodeId(2), NodeId(5)],
+            }]
+        }
+        fn name(&self) -> &'static str {
+            "insister"
+        }
+    }
+    let mut config = ClusterConfig::paper_baseline(6, SimDuration::from_secs(10));
+    config.clock = ClockConfig::perfect();
+    let mut c = Cluster::new(config);
+    c.add_task(aaw_task(), Box::new(|_| 1_000));
+    c.set_controller(Box::new(Insister));
+    c.fail_node_at(NodeId(5), SimTime::from_millis(500));
+    let out = c.run();
+    assert!(out.metrics.rejected_actions > 0, "dead-node placements rejected");
+}

@@ -1,0 +1,71 @@
+//! Golden-file regression test: the quick triangular sweep must produce
+//! byte-identical CSV output run over run. Guards the entire pipeline
+//! (simulator, algorithms, metrics, reporting) against unintended
+//! behavioral drift — any change to this file's expectations should be a
+//! deliberate, review-worthy event.
+//!
+//! To regenerate after an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test -p rtds --test golden`
+
+use std::path::PathBuf;
+
+use rtds::experiments::models::quick_predictor;
+use rtds::experiments::report::Table;
+use rtds::experiments::scenario::PatternSpec;
+use rtds::experiments::sweep::{run_sweep, SweepConfig};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig9_quick.csv")
+}
+
+fn produce_csv() -> String {
+    let mut cfg = SweepConfig::quick(PatternSpec::Triangular { half_period: 10 });
+    cfg.units = vec![4, 16, 28];
+    cfg.n_periods = 40;
+    cfg.threads = 1;
+    let points = run_sweep(&cfg, &quick_predictor());
+    let mut t = Table::new(vec![
+        "units",
+        "policy",
+        "missed_pct",
+        "cpu_pct",
+        "net_pct",
+        "avg_replicas",
+        "combined",
+    ]);
+    for p in &points {
+        t.row(vec![
+            p.units.to_string(),
+            p.policy.name().to_string(),
+            format!("{:.6}", p.missed_pct),
+            format!("{:.6}", p.cpu_pct),
+            format!("{:.6}", p.net_pct),
+            format!("{:.6}", p.avg_replicas),
+            format!("{:.6}", p.combined),
+        ]);
+    }
+    t.to_csv()
+}
+
+#[test]
+fn quick_sweep_matches_golden_output() {
+    let csv = produce_csv();
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &csv).unwrap();
+        eprintln!("golden file updated: {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test -p rtds --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        csv, golden,
+        "sweep output drifted from the golden file; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}

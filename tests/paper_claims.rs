@@ -1,0 +1,132 @@
+//! The paper's §5.2 claims, encoded as executable assertions over
+//! miniature versions of the actual evaluation sweeps.
+//!
+//! These are the same code paths the `fig9`/`fig10`/`fig13` binaries run,
+//! at reduced scale so CI can afford them; EXPERIMENTS.md records the
+//! full-scale numbers.
+
+use rtds::experiments::models::quick_predictor;
+use rtds::experiments::scenario::{PatternSpec, PolicySpec};
+use rtds::experiments::sweep::{points_for, run_sweep, SweepConfig};
+
+fn sweep(pattern: PatternSpec, units: Vec<u64>) -> Vec<rtds::experiments::SweepPoint> {
+    let mut cfg = SweepConfig::quick(pattern);
+    cfg.units = units;
+    cfg.n_periods = 60;
+    cfg.threads = 2;
+    run_sweep(&cfg, &quick_predictor())
+}
+
+#[test]
+fn claim_equal_performance_at_small_workloads() {
+    // "for smaller workloads where no replication is needed, the
+    // performance of both algorithms is the same" (§5.2, Fig. 10).
+    let pts = sweep(PatternSpec::Triangular { half_period: 10 }, vec![2, 6]);
+    for unit in [2u64, 6] {
+        let p = pts
+            .iter()
+            .find(|x| x.units == unit && x.policy == PolicySpec::Predictive)
+            .unwrap();
+        let n = pts
+            .iter()
+            .find(|x| x.units == unit && x.policy == PolicySpec::NonPredictive)
+            .unwrap();
+        assert_eq!(p.avg_replicas, 1.0, "no replication at unit {unit}");
+        assert_eq!(n.avg_replicas, 1.0);
+        assert!(
+            (p.combined - n.combined).abs() < 1e-9,
+            "identical runs at unit {unit}: {} vs {}",
+            p.combined,
+            n.combined
+        );
+    }
+}
+
+#[test]
+fn claim_predictive_wins_combined_metric_on_triangular_at_load() {
+    // "for larger workloads, the predictive algorithm shows a better
+    // combined performance than the non-predictive algorithm" (Fig. 10).
+    let pts = sweep(PatternSpec::Triangular { half_period: 10 }, vec![24, 30]);
+    let mut wins = 0;
+    for unit in [24u64, 30] {
+        let p = pts
+            .iter()
+            .find(|x| x.units == unit && x.policy == PolicySpec::Predictive)
+            .unwrap();
+        let n = pts
+            .iter()
+            .find(|x| x.units == unit && x.policy == PolicySpec::NonPredictive)
+            .unwrap();
+        if p.combined < n.combined {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 1, "predictive should win at least one high-load point");
+}
+
+#[test]
+fn claim_nonpredictive_uses_more_replicas_and_less_cpu() {
+    // Fig. 9b/9d: "the non-predictive algorithm has a smaller … CPU
+    // utilization … however, [it] uses much larger number of subtask
+    // replicas".
+    let pts = sweep(PatternSpec::Triangular { half_period: 10 }, vec![21]);
+    let p = points_for(&pts, PolicySpec::Predictive)[0];
+    let n = points_for(&pts, PolicySpec::NonPredictive)[0];
+    assert!(
+        n.avg_replicas > p.avg_replicas,
+        "replicas: non-predictive {} vs predictive {}",
+        n.avg_replicas,
+        p.avg_replicas
+    );
+    assert!(
+        n.cpu_pct <= p.cpu_pct + 0.5,
+        "cpu: non-predictive {} vs predictive {}",
+        n.cpu_pct,
+        p.cpu_pct
+    );
+}
+
+#[test]
+fn claim_holds_on_ramp_patterns_pre_threshold() {
+    // Figs. 13a/13b: "the predictive algorithm performs better than the
+    // non-predictive for the workload range 0-28". At this miniature
+    // scale the increasing ramp shows the full-scale ordering; the
+    // decreasing ramp (which *starts* in overload, before any profile of
+    // the run has been observed) is noisier, so it only gets a band check
+    // here — EXPERIMENTS.md records the full-scale win on both ramps.
+    let inc = sweep(PatternSpec::Increasing { ramp_periods: 60 }, vec![24]);
+    let p = points_for(&inc, PolicySpec::Predictive)[0];
+    let n = points_for(&inc, PolicySpec::NonPredictive)[0];
+    assert!(
+        p.combined <= n.combined + 1.0,
+        "increasing ramp: predictive {} vs non-predictive {}",
+        p.combined,
+        n.combined
+    );
+
+    let dec = sweep(PatternSpec::Decreasing { ramp_periods: 60 }, vec![24]);
+    let p = points_for(&dec, PolicySpec::Predictive)[0];
+    let n = points_for(&dec, PolicySpec::NonPredictive)[0];
+    assert!(
+        (p.combined - n.combined).abs() < 0.25 * n.combined,
+        "decreasing ramp stays in the same band: {} vs {}",
+        p.combined,
+        n.combined
+    );
+}
+
+#[test]
+fn claim_metrics_are_internally_consistent() {
+    // The combined metric must equal the sum of its parts for every
+    // sweep point (guards the reporting pipeline end to end).
+    let pts = sweep(PatternSpec::Triangular { half_period: 10 }, vec![18]);
+    for pt in &pts {
+        let expect =
+            pt.missed_pct + pt.cpu_pct + pt.net_pct + 100.0 * pt.avg_replicas / 6.0;
+        assert!(
+            (pt.combined - expect).abs() < 1e-9,
+            "combined {} vs components {expect}",
+            pt.combined
+        );
+    }
+}

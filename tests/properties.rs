@@ -1,0 +1,399 @@
+//! Property-based tests (proptest) on the core invariants the paper's
+//! algorithms rely on.
+
+use proptest::prelude::*;
+
+use rtds::arm::online::OnlineRefiner;
+use rtds::arm::prelude::*;
+use rtds::regression::{BufferDelayModel, ExecLatencyModel, LatencySample, Polynomial};
+use rtds::sim::event::EventQueue;
+use rtds::sim::ids::NodeId;
+use rtds::sim::pipeline::split_tracks;
+use rtds::sim::time::{SimDuration, SimTime};
+
+proptest! {
+    // ---------------------------------------------------------------
+    // Deadline assignment (EQF)
+    // ---------------------------------------------------------------
+
+    /// Classic EQF budgets always partition the end-to-end deadline.
+    #[test]
+    fn eqf_classic_partitions_deadline(
+        exec in prop::collection::vec(0.0f64..500.0, 1..8),
+        deadline_ms in 1.0f64..5_000.0,
+        comm_seed in 0.0f64..100.0,
+    ) {
+        let comm: Vec<f64> = (0..exec.len().saturating_sub(1))
+            .map(|i| comm_seed * (i as f64 + 0.5) % 97.0)
+            .collect();
+        let a = assign_deadlines(
+            &exec, &comm,
+            SimDuration::from_millis_f64(deadline_ms),
+            EqfVariant::Classic,
+        );
+        let total: f64 = a.subtask.iter().chain(a.message.iter())
+            .map(|d| d.as_millis_f64()).sum();
+        // Rounding to whole microseconds may shift each component by 0.5us.
+        let tolerance = 0.002 * (a.subtask.len() + a.message.len()) as f64;
+        prop_assert!((total - deadline_ms).abs() <= tolerance,
+            "sum {total} vs deadline {deadline_ms}");
+    }
+
+    /// Budgets are monotone in the estimates: more estimated work never
+    /// yields a *smaller* budget under the same totals.
+    #[test]
+    fn eqf_budgets_proportional_to_estimates(
+        base in 1.0f64..100.0,
+        factor in 1.01f64..10.0,
+        deadline_ms in 100.0f64..5_000.0,
+    ) {
+        let exec = vec![base, base * factor];
+        let a = assign_deadlines(
+            &exec, &[0.0],
+            SimDuration::from_millis_f64(deadline_ms),
+            EqfVariant::Classic,
+        );
+        prop_assert!(a.subtask[1] >= a.subtask[0]);
+    }
+
+    /// Equal-slack budgets also partition the deadline whenever there is
+    /// non-negative slack.
+    #[test]
+    fn eqs_partitions_deadline_when_feasible(
+        exec in prop::collection::vec(1.0f64..100.0, 1..6),
+        slack_per_comp in 0.0f64..50.0,
+    ) {
+        let comm: Vec<f64> = (0..exec.len().saturating_sub(1)).map(|i| 1.0 + i as f64).collect();
+        let total: f64 = exec.iter().sum::<f64>() + comm.iter().sum::<f64>();
+        let n_comp = (exec.len() + comm.len()) as f64;
+        let deadline = total + slack_per_comp * n_comp;
+        let a = assign_deadlines(
+            &exec, &comm,
+            SimDuration::from_millis_f64(deadline),
+            EqfVariant::EqualSlack,
+        );
+        let sum: f64 = a.subtask.iter().chain(a.message.iter())
+            .map(|d| d.as_millis_f64()).sum();
+        let tolerance = 0.002 * n_comp;
+        prop_assert!((sum - deadline).abs() <= tolerance, "{sum} vs {deadline}");
+        // And every budget at least covers its estimate.
+        for (b, e) in a.subtask.iter().zip(&exec) {
+            prop_assert!(b.as_millis_f64() + 0.001 >= *e);
+        }
+    }
+
+    /// The online refiner never produces non-finite coefficients from
+    /// finite observation streams, and converges on self-generated data.
+    #[test]
+    fn online_refiner_is_stable_on_random_streams(
+        a3 in 0.001f64..0.5, b3 in 0.1f64..5.0,
+        lambda in 0.9f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        use rtds::regression::ExecLatencyModel;
+        let truth = ExecLatencyModel::from_coefficients(
+            [1e-5, 1e-3, a3], [1e-4, 1e-2, b3]);
+        let mut r = OnlineRefiner::from_model(
+            &ExecLatencyModel::from_coefficients([0.0, 0.0, 0.1], [0.0, 0.0, 1.0]),
+            lambda, 100.0);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s >> 12; s ^= s << 25; s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as f64 / (u32::MAX as f64 / 2.0)
+        };
+        for _ in 0..200 {
+            let d = 1.0 + next() * 40.0;
+            let u = next() * 80.0;
+            r.observe(d, u, truth.predict_raw(d, u));
+        }
+        let m = r.model();
+        for c in m.a.iter().chain(m.b.iter()) {
+            prop_assert!(c.is_finite(), "coefficient diverged: {c}");
+        }
+        let (d, u) = (20.0, 40.0);
+        let err = (r.predict(d, u) - truth.predict_raw(d, u)).abs();
+        prop_assert!(
+            err < 0.05 * truth.predict_raw(d, u).max(1.0),
+            "err {err} at truth {}", truth.predict_raw(d, u)
+        );
+    }
+
+    /// Composite patterns stay within the union of their phases' ranges.
+    #[test]
+    fn composite_pattern_is_bounded(
+        lens in prop::collection::vec(1u64..10, 1..5),
+        period in 0u64..200,
+    ) {
+        use rtds::workloads::{Composite, Constant, Pattern, Triangular, WorkloadRange};
+        let phases: Vec<(Box<dyn Pattern>, u64)> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let p: Box<dyn Pattern> = if i % 2 == 0 {
+                    Box::new(Constant(100 + i as u64))
+                } else {
+                    Box::new(Triangular::new(WorkloadRange::new(50, 500), 3))
+                };
+                (p, n)
+            })
+            .collect();
+        let mut c = Composite::new(phases);
+        let v = c.tracks_at(period);
+        prop_assert!((50..=500).contains(&v) || (100..105).contains(&v), "{v}");
+    }
+
+    // ---------------------------------------------------------------
+    // Data-stream splitting
+    // ---------------------------------------------------------------
+
+    /// Replica shares conserve the stream and are balanced within 1.
+    #[test]
+    fn split_tracks_conserves_and_balances(tracks in 0u64..1_000_000, k in 1usize..32) {
+        let s = split_tracks(tracks, k);
+        prop_assert_eq!(s.len(), k);
+        prop_assert_eq!(s.iter().sum::<u64>(), tracks);
+        let max = *s.iter().max().unwrap();
+        let min = *s.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    // ---------------------------------------------------------------
+    // Regression substrate
+    // ---------------------------------------------------------------
+
+    /// The two-stage Eq. (3) fit recovers a surface generated by the model
+    /// family itself (with non-negative coefficient draws).
+    #[test]
+    fn eq3_fit_recovers_model_family(
+        a1 in 0.0f64..1e-4, a2 in 0.0f64..1e-2, a3 in 0.001f64..0.5,
+        b1 in 0.0f64..1e-3, b2 in 0.0f64..1e-1, b3 in 0.1f64..5.0,
+    ) {
+        let truth = ExecLatencyModel::from_coefficients([a1, a2, a3], [b1, b2, b3]);
+        let mut samples = Vec::new();
+        for &u in &[10.0, 30.0, 50.0, 70.0] {
+            for d in (1..=8).map(|i| i as f64 * 2.0) {
+                samples.push(LatencySample { d, u, latency_ms: truth.predict_raw(d, u) });
+            }
+        }
+        let fitted = ExecLatencyModel::fit_two_stage(&samples).unwrap();
+        for &u in &[20.0, 60.0] {
+            for &d in &[3.0, 9.0, 15.0] {
+                let t = truth.predict_raw(d, u);
+                let f = fitted.predict_raw(d, u);
+                prop_assert!((t - f).abs() <= 1e-6 + 1e-6 * t.abs(),
+                    "({d},{u}): {f} vs {t}");
+            }
+        }
+    }
+
+    /// Polynomial fits are exact on data generated by polynomials of the
+    /// same degree.
+    #[test]
+    fn polyfit_exact_on_own_family(
+        c0 in -10.0f64..10.0, c1 in -10.0f64..10.0, c2 in -2.0f64..2.0,
+    ) {
+        let xs: Vec<f64> = (0..12).map(|i| i as f64 - 3.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| c0 + c1 * x + c2 * x * x).collect();
+        let p = Polynomial::fit(&xs, &ys, 2).unwrap();
+        prop_assert!((p.eval(5.5) - (c0 + c1 * 5.5 + c2 * 5.5 * 5.5)).abs() < 1e-6);
+    }
+
+    /// The buffer-delay fit recovers any non-negative slope exactly from
+    /// noiseless data.
+    #[test]
+    fn buffer_fit_recovers_slope(k in 0.0f64..1.0) {
+        let samples: Vec<rtds::regression::BufferDelaySample> = (1..=10)
+            .map(|i| rtds::regression::BufferDelaySample {
+                total_tracks: i as f64 * 1_000.0,
+                delay_ms: k * i as f64 * 1_000.0,
+            })
+            .collect();
+        let m = BufferDelayModel::fit(&samples).unwrap();
+        prop_assert!((m.k - k).abs() < 1e-9 * (1.0 + k));
+    }
+
+    // ---------------------------------------------------------------
+    // Monitoring
+    // ---------------------------------------------------------------
+
+    /// Classification is total and consistent with the slack bands.
+    #[test]
+    fn classify_matches_band_arithmetic(
+        observed_ms in 0.0f64..2_000.0,
+        budget_ms in 1.0f64..2_000.0,
+    ) {
+        let cfg = MonitorConfig::default();
+        let h = classify(
+            SimDuration::from_millis_f64(observed_ms),
+            SimDuration::from_millis_f64(budget_ms),
+            &cfg,
+        );
+        // Recompute from the rounded durations the classifier actually saw.
+        let obs = SimDuration::from_millis_f64(observed_ms).as_millis_f64();
+        let bud = SimDuration::from_millis_f64(budget_ms).as_millis_f64();
+        if obs > bud {
+            prop_assert_eq!(h, StageHealth::Missed);
+        } else {
+            let slack = (bud - obs) / bud;
+            if slack < 0.2 {
+                prop_assert_eq!(h, StageHealth::LowSlack);
+            } else if slack > 0.6 {
+                prop_assert_eq!(h, StageHealth::HighSlack);
+            } else {
+                prop_assert_eq!(h, StageHealth::Nominal);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 5 / Fig. 7 allocation invariants
+    // ---------------------------------------------------------------
+
+    /// The non-predictive enlargement always contains the original set,
+    /// never duplicates, and only adds below-threshold processors.
+    #[test]
+    fn nonpredictive_enlargement_invariants(
+        utils in prop::collection::vec(0.0f64..100.0, 2..12),
+        threshold in 0.0f64..100.0,
+    ) {
+        let current = vec![NodeId(0)];
+        let ps = replicate_subtask_nonpredictive(&current, &utils, threshold);
+        prop_assert_eq!(ps[0], NodeId(0));
+        let mut seen = std::collections::HashSet::new();
+        for n in &ps {
+            prop_assert!(seen.insert(*n), "duplicate {n}");
+            prop_assert!(n.index() < utils.len());
+        }
+        for n in &ps[1..] {
+            prop_assert!(utils[n.index()] < threshold);
+        }
+        // Exhaustiveness: every qualifying node is in.
+        for (i, &u) in utils.iter().enumerate() {
+            if u < threshold {
+                prop_assert!(ps.contains(&NodeId(i as u32)));
+            }
+        }
+    }
+
+    /// Shutdown removes exactly one (the last) replica and never the
+    /// original.
+    #[test]
+    fn shutdown_invariants(extra in prop::collection::vec(1u32..16, 0..8)) {
+        let mut current = vec![NodeId(0)];
+        for (i, _) in extra.iter().enumerate() {
+            current.push(NodeId(i as u32 + 1));
+        }
+        let after = shutdown_a_replica(&current);
+        prop_assert_eq!(after[0], NodeId(0));
+        if current.len() == 1 {
+            prop_assert_eq!(after.len(), 1);
+        } else {
+            prop_assert_eq!(after.len(), current.len() - 1);
+            prop_assert_eq!(&after[..], &current[..current.len() - 1]);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Simulation substrate
+    // ---------------------------------------------------------------
+
+    /// The event queue pops in (time, insertion) order whatever the
+    /// schedule order.
+    #[test]
+    fn event_queue_is_stable_priority_queue(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among ties");
+            }
+        }
+    }
+
+    /// Time arithmetic round-trips.
+    #[test]
+    fn sim_time_arithmetic_round_trips(base in 0u64..u32::MAX as u64, delta in 0u64..u32::MAX as u64) {
+        let t = SimTime::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d).since(t), d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    // ---------------------------------------------------------------
+    // Combined metric
+    // ---------------------------------------------------------------
+
+    /// The combined metric is monotone in each component.
+    #[test]
+    fn combined_metric_is_monotone(
+        md in 0.0f64..100.0, cpu in 0.0f64..100.0,
+        net in 0.0f64..100.0, reps in 1.0f64..6.0, bump in 0.001f64..10.0,
+    ) {
+        let mk = |md, cpu, net, reps| rtds::sim::metrics::RunSummary {
+            missed_deadline_pct: md,
+            avg_cpu_util_pct: cpu,
+            avg_net_util_pct: net,
+            avg_replicas: reps,
+            decided_periods: 1,
+            released_periods: 1,
+            placement_changes: 0,
+        };
+        let base = combined_metric(&mk(md, cpu, net, reps), 6);
+        prop_assert!(combined_metric(&mk(md + bump, cpu, net, reps), 6) > base);
+        prop_assert!(combined_metric(&mk(md, cpu + bump, net, reps), 6) > base);
+        prop_assert!(combined_metric(&mk(md, cpu, net + bump, reps), 6) > base);
+        prop_assert!(combined_metric(&mk(md, cpu, net, reps + bump.min(1.0)), 6) > base);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fig. 5 replication: the result is always a superset of the current
+    /// set with no duplicates, regardless of utilizations and budgets —
+    /// and on failure the best-effort set is the whole cluster.
+    #[test]
+    fn predictive_replication_set_invariants(
+        utils in prop::collection::vec(0.0f64..95.0, 6..7),
+        tracks in 1_000u64..17_500,
+        budget_ms in 10.0f64..900.0,
+    ) {
+        use rtds::arm::predictive::{replicate_subtask, ReplicationRequest, ReplicateFailure};
+        use rtds::experiments::models::quick_predictor;
+        let predictor = quick_predictor();
+        let current = vec![NodeId(2)];
+        let budget = SimDuration::from_millis_f64(budget_ms);
+        let req = ReplicationRequest {
+            current: &current,
+            node_util_pct: &utils,
+            stage: 2,
+            tracks,
+            total_periodic_tracks: tracks,
+            budget,
+            slack: budget.mul_f64(0.2),
+        };
+        let set = match replicate_subtask(&req, &predictor) {
+            Ok(ps) => ps,
+            Err(ReplicateFailure::OutOfProcessors { best_effort, .. }) => {
+                prop_assert_eq!(best_effort.len(), 6);
+                best_effort
+            }
+        };
+        prop_assert_eq!(set[0], NodeId(2));
+        let mut seen = std::collections::HashSet::new();
+        for n in &set {
+            prop_assert!(seen.insert(*n));
+            prop_assert!(n.index() < 6);
+        }
+        prop_assert!(set.len() >= 2, "Fig. 5 always adds at least one replica");
+    }
+}
