@@ -252,7 +252,9 @@ impl Controller for ResourceManager {
         ctx: &ControlContext,
     ) -> Vec<ControlAction> {
         let t = self.task.index();
-        let mut placements = ctx.placements[t].clone();
+        // Own a mutable working copy of this task's placement (the context
+        // shares the runtime's placement behind an Arc).
+        let mut placements = (*ctx.placements[t]).clone();
         if self.deadlines.is_none() {
             self.reassign_deadlines(ctx, &placements);
         }
@@ -287,7 +289,14 @@ impl Controller for ResourceManager {
         // Online refinement: absorb every completed stage observation and
         // write the refined Eq. (3) coefficients back into the predictor.
         if let Some(refiners) = self.refiners.as_mut() {
-            let mut touched = false;
+            // Bitmask of stages that absorbed at least one observation:
+            // only those models are exported back into the predictor, so
+            // an epoch's refit cost scales with what actually completed,
+            // not with pipeline length. (Pipelines have a handful of
+            // stages; for the hypothetical ≥64-stage case the top bit
+            // over-approximates, which merely re-exports an unchanged
+            // model.)
+            let mut touched: u64 = 0;
             for obs in completed.iter().filter(|o| o.task == self.task) {
                 for st in &obs.stages {
                     let j = st.subtask.index();
@@ -301,13 +310,14 @@ impl Controller for ResourceManager {
                             / ps.len() as f64
                     };
                     refiners[j].observe(d, u, st.exec_latency.as_millis_f64());
-                    touched = true;
+                    touched |= 1u64 << j.min(63);
                 }
             }
-            if touched {
-                let models: Vec<_> = refiners.iter().map(|r| r.model()).collect();
-                for (j, m) in models.into_iter().enumerate() {
-                    self.predictor.set_exec_model(j, m);
+            if touched != 0 {
+                for (j, r) in refiners.iter().enumerate() {
+                    if touched & (1u64 << j.min(63)) != 0 {
+                        self.predictor.set_exec_model(j, r.model());
+                    }
                 }
             }
         }
@@ -421,7 +431,7 @@ mod tests {
             alive: vec![true; utils.len()],
             node_util_pct: utils,
             replicable: vec![task.stages.iter().map(|s| s.replicable).collect()],
-            placements: vec![placements],
+            placements: vec![std::sync::Arc::new(placements)],
             periods: vec![task.period],
             deadlines: vec![task.deadline],
             last_tracks: vec![tracks],
@@ -600,7 +610,7 @@ mod tests {
             alive: vec![true],
             node_util_pct: vec![60.0],
             replicable: vec![task.stages.iter().map(|s| s.replicable).collect()],
-            placements: vec![(0..5).map(|_| vec![NodeId(0)]).collect()],
+            placements: vec![std::sync::Arc::new((0..5).map(|_| vec![NodeId(0)]).collect())],
             periods: vec![task.period],
             deadlines: vec![task.deadline],
             last_tracks: vec![16_000],

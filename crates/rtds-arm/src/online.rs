@@ -14,6 +14,7 @@
 //! then feeds every completed stage observation into the refiner and
 //! predicts from the refined coefficients.
 
+use rtds_regression::incremental::RecursiveLeastSquares;
 use rtds_regression::model::ExecLatencyModel;
 
 /// Number of Eq. (3) coefficients.
@@ -26,17 +27,15 @@ const K: usize = 6;
 /// converted on export.
 const SCALE: [f64; K] = [1e-5, 1e-3, 1e-1, 1e-3, 1e-1, 1.0];
 
-/// Recursive-least-squares refiner for one subtask's Eq. (3) model.
+/// Recursive-least-squares refiner for one subtask's Eq. (3) model: the
+/// Eq. (3) feature map and scaling around a generic
+/// [`RecursiveLeastSquares`] core (which owns the rank-1 Sherman–Morrison
+/// update), with coefficients imported from / exported to
+/// [`ExecLatencyModel`].
 #[derive(Debug, Clone)]
 pub struct OnlineRefiner {
-    /// Current coefficients `[a1, a2, a3, b1, b2, b3]`.
-    theta: [f64; K],
-    /// Inverse-covariance matrix (row-major).
-    p: [[f64; K]; K],
-    /// Forgetting factor λ ∈ (0, 1]; 1 = infinite memory.
-    lambda: f64,
-    /// Observations absorbed.
-    updates: u64,
+    /// The incremental estimator over scaled Eq. (3) features.
+    rls: RecursiveLeastSquares<K>,
 }
 
 fn features(d: f64, u: f64) -> [f64; K] {
@@ -57,8 +56,6 @@ impl OnlineRefiner {
     /// # Panics
     /// Panics unless `0 < lambda <= 1` and `prior_strength > 0`.
     pub fn from_model(model: &ExecLatencyModel, lambda: f64, prior_strength: f64) -> Self {
-        assert!(lambda > 0.0 && lambda <= 1.0, "forgetting factor in (0,1]");
-        assert!(prior_strength > 0.0, "prior strength must be positive");
         let raw = [
             model.a[0], model.a[1], model.a[2], model.b[0], model.b[1], model.b[2],
         ];
@@ -66,15 +63,8 @@ impl OnlineRefiner {
         for i in 0..K {
             theta[i] = raw[i] / SCALE[i];
         }
-        let mut p = [[0.0; K]; K];
-        for (i, row) in p.iter_mut().enumerate() {
-            row[i] = 1.0 / prior_strength;
-        }
         OnlineRefiner {
-            theta,
-            p,
-            lambda,
-            updates: 0,
+            rls: RecursiveLeastSquares::new(theta, lambda, prior_strength),
         }
     }
 
@@ -86,67 +76,32 @@ impl OnlineRefiner {
 
     /// Number of observations absorbed.
     pub fn updates(&self) -> u64 {
-        self.updates
+        self.rls.updates()
     }
 
     /// Absorbs one observation: the stage processed `d` (hundreds of
     /// tracks, per replica) at utilization `u` (percent) in `latency_ms`.
-    /// Non-finite inputs are ignored (robustness against degenerate
-    /// observations).
-    #[allow(clippy::needless_range_loop)] // indexed form mirrors the algebra
+    /// One rank-1 update, O(K²). Non-finite or non-positive-`d` inputs
+    /// are ignored (robustness against degenerate observations).
     pub fn observe(&mut self, d: f64, u: f64, latency_ms: f64) {
-        if !(d.is_finite() && u.is_finite() && latency_ms.is_finite()) || d <= 0.0 {
+        if !(d.is_finite() && u.is_finite()) || d <= 0.0 {
             return;
         }
-        let phi = features(d, u);
-        // P φ
-        let mut pphi = [0.0; K];
-        for i in 0..K {
-            for j in 0..K {
-                pphi[i] += self.p[i][j] * phi[j];
-            }
-        }
-        // φᵀ P φ
-        let denom: f64 = self.lambda + phi.iter().zip(&pphi).map(|(a, b)| a * b).sum::<f64>();
-        if !denom.is_finite() || denom <= 0.0 {
-            return;
-        }
-        // Gain k = P φ / denom
-        let mut gain = [0.0; K];
-        for i in 0..K {
-            gain[i] = pphi[i] / denom;
-        }
-        // Innovation
-        let pred: f64 = phi.iter().zip(&self.theta).map(|(a, b)| a * b).sum();
-        let err = latency_ms - pred;
-        for i in 0..K {
-            self.theta[i] += gain[i] * err;
-        }
-        // P = (P − k (P φ)ᵀ) / λ   (using symmetry of P)
-        for i in 0..K {
-            for j in 0..K {
-                self.p[i][j] = (self.p[i][j] - gain[i] * pphi[j]) / self.lambda;
-            }
-        }
-        self.updates += 1;
+        let _ = self.rls.update(&features(d, u), latency_ms);
     }
 
     /// Current prediction for `(d, u)`, clamped non-negative like
     /// [`ExecLatencyModel::predict`].
     pub fn predict(&self, d: f64, u: f64) -> f64 {
-        let phi = features(d, u);
-        phi.iter()
-            .zip(&self.theta)
-            .map(|(a, b)| a * b)
-            .sum::<f64>()
-            .max(0.0)
+        self.rls.predict(&features(d, u)).max(0.0)
     }
 
     /// Exports the refined coefficients as an [`ExecLatencyModel`].
     pub fn model(&self) -> ExecLatencyModel {
+        let theta = self.rls.theta();
         let mut raw = [0.0; K];
         for i in 0..K {
-            raw[i] = self.theta[i] * SCALE[i];
+            raw[i] = theta[i] * SCALE[i];
         }
         ExecLatencyModel::from_coefficients([raw[0], raw[1], raw[2]], [raw[3], raw[4], raw[5]])
     }

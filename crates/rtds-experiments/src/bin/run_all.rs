@@ -1,5 +1,44 @@
 //! Regenerates every table and figure of the paper's evaluation section
 //! in one run; see EXPERIMENTS.md for the recorded outputs.
+//!
+//! With `--perf`, every simulation is instrumented and an aggregated
+//! per-phase profile (plus the process-wide allocation count, measured by
+//! the counting global allocator below) is printed at exit.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps the system allocator with an allocation counter so `--perf` can
+/// report how many heap allocations the epoch hot path performs. The
+/// library crates are `#![forbid(unsafe_code)]`; a global allocator needs
+/// `unsafe impl`, so it lives here in the binary.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match rtds_experiments::cli::parse(&args) {
@@ -9,6 +48,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if cli.perf {
+        rtds_experiments::perfmon::enable(Some(allocation_count));
+    }
     use rtds_experiments::figures::{eval, patterns, profile, tables};
     let o = &cli.options;
     let figs = vec![
@@ -39,5 +81,8 @@ fn main() {
     std::fs::create_dir_all(&o.out_dir).expect("create output dir");
     let report_path = o.out_dir.join("REPORT.txt");
     std::fs::write(&report_path, report).expect("write report");
+    if let Some(s) = rtds_experiments::perfmon::summary() {
+        println!("{s}");
+    }
     eprintln!("artifacts in {} (full text: {})", o.out_dir.display(), report_path.display());
 }

@@ -16,6 +16,9 @@ pub struct Cli {
     pub options: FigureOptions,
     /// `--extended` was passed.
     pub extended: bool,
+    /// `--perf` was passed: instrument every simulation and print an
+    /// aggregated performance report at exit.
+    pub perf: bool,
 }
 
 /// Parses `args` (excluding argv\[0\]).
@@ -25,12 +28,14 @@ pub struct Cli {
 pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut options = FigureOptions::default();
     let mut extended = false;
+    let mut perf = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => options.quick = true,
             "--analytic" => options.fitted_models = false,
             "--extended" => extended = true,
+            "--perf" => perf = true,
             "--out" => {
                 let dir = it.next().ok_or("--out needs a directory")?;
                 options.out_dir = PathBuf::from(dir);
@@ -50,15 +55,16 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    Ok(Cli { options, extended })
+    Ok(Cli { options, extended, perf })
 }
 
 /// The usage string.
 pub fn usage() -> String {
-    "usage: <figure-bin> [--quick] [--analytic] [--extended] [--out DIR] [--threads N]\n\
+    "usage: <figure-bin> [--quick] [--analytic] [--extended] [--perf] [--out DIR] [--threads N]\n\
      --quick     small grids / short runs\n\
      --analytic  use closed-form latency models (skip the profiling campaign)\n\
      --extended  extend the workload axis beyond the paper's range (fig13)\n\
+     --perf      instrument simulations; print aggregated perf counters at exit\n\
      --out DIR   CSV output directory (default: results)\n\
      --threads N sweep parallelism"
         .into()
@@ -77,8 +83,14 @@ where
             std::process::exit(2);
         }
     };
+    if cli.perf {
+        crate::perfmon::enable(None);
+    }
     let fig = f(&cli);
     println!("{}", fig.text);
+    if let Some(s) = crate::perfmon::summary() {
+        println!("{s}");
+    }
     match fig.save_csvs(&cli.options.out_dir) {
         Ok(paths) => {
             for p in paths {

@@ -22,6 +22,7 @@
 pub mod cli;
 pub mod figures;
 pub mod models;
+pub mod perfmon;
 pub mod report;
 pub mod scenario;
 pub mod sweep;

@@ -1,0 +1,120 @@
+//! Process-global performance monitoring for `--perf` runs.
+//!
+//! The figure binaries run many simulations through [`crate::scenario`];
+//! threading a perf flag through every call site would ripple the
+//! scenario API for a purely diagnostic concern. Instead this module
+//! holds one process-global switch plus an aggregate: when enabled,
+//! every [`crate::scenario::run_scenario`] call instruments its cluster
+//! and folds the resulting [`PerfReport`] into the aggregate, which the
+//! binary prints at exit.
+//!
+//! The optional allocation probe is a monotone allocation counter. The
+//! library crates forbid `unsafe`, so a binary that wants allocation
+//! numbers (`run_all --perf`) installs its own counting global allocator
+//! and registers the reader here.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use rtds_sim::perf::{PerfReport, PHASE_NAMES};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+static AGG: Mutex<Option<Aggregate>> = Mutex::new(None);
+
+/// Sum of all instrumented runs so far.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    /// Instrumented simulation runs recorded.
+    pub runs: u64,
+    /// Element-wise sum of every run's report.
+    pub report: PerfReport,
+}
+
+/// Turns instrumentation on for all subsequent scenario runs in this
+/// process. `alloc_probe`, if given, must be a monotone allocation
+/// counter (typically backed by a counting global allocator).
+pub fn enable(alloc_probe: Option<fn() -> u64>) {
+    if let Some(p) = alloc_probe {
+        let _ = PROBE.set(p);
+    }
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Whether `--perf` instrumentation is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// The registered allocation probe, if any.
+pub fn probe() -> Option<fn() -> u64> {
+    PROBE.get().copied()
+}
+
+/// Folds one run's report into the process aggregate.
+pub fn record(r: &PerfReport) {
+    let mut guard = AGG.lock().expect("perf aggregate poisoned");
+    let agg = guard.get_or_insert_with(Aggregate::default);
+    agg.runs += 1;
+    for i in 0..PHASE_NAMES.len() {
+        agg.report.events[i] += r.events[i];
+        agg.report.ns[i] += r.ns[i];
+    }
+    agg.report.queue.scheduled += r.queue.scheduled;
+    agg.report.queue.popped += r.queue.popped;
+    agg.report.queue.cancelled += r.queue.cancelled;
+    agg.report.queue.compactions += r.queue.compactions;
+    agg.report.queue.heap_high_water =
+        agg.report.queue.heap_high_water.max(r.queue.heap_high_water);
+    agg.report.elided_dispatches += r.elided_dispatches;
+    agg.report.control_epochs += r.control_epochs;
+    agg.report.controller_ns += r.controller_ns;
+    if let Some(a) = r.epoch_allocs {
+        *agg.report.epoch_allocs.get_or_insert(0) += a;
+    }
+    agg.report.wall_ns += r.wall_ns;
+}
+
+/// A snapshot of the aggregate, if any runs were recorded.
+pub fn snapshot() -> Option<Aggregate> {
+    AGG.lock().expect("perf aggregate poisoned").clone()
+}
+
+/// Renders the aggregate for end-of-run printing; `None` when
+/// instrumentation was off or nothing ran.
+pub fn summary() -> Option<String> {
+    let agg = snapshot()?;
+    Some(format!(
+        "== perf (aggregated over {} simulation runs) ==\n{}",
+        agg.runs,
+        agg.report.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: the switch and aggregate are process-global, so these tests
+    // only exercise pure accumulation, not enable() (which would leak
+    // into sibling tests running in the same process).
+
+    #[test]
+    fn record_accumulates_runs_and_counters() {
+        let mut r = PerfReport::default();
+        r.events[1] = 5;
+        r.ns[1] = 500;
+        r.queue.popped = 5;
+        r.queue.heap_high_water = 7;
+        r.control_epochs = 2;
+        r.wall_ns = 1_000;
+        record(&r);
+        record(&r);
+        let agg = snapshot().expect("aggregate exists");
+        assert!(agg.runs >= 2);
+        assert!(agg.report.events[1] >= 10);
+        assert!(agg.report.queue.popped >= 10);
+        assert!(agg.report.queue.heap_high_water >= 7);
+        assert!(summary().expect("non-empty").contains("dispatch"));
+    }
+}

@@ -250,7 +250,13 @@ pub fn run_scenario(cfg: &ScenarioConfig, predictor: &Predictor) -> ScenarioResu
         cluster.fail_node_at(rtds_sim::ids::NodeId(node), SimTime::from_secs(at_s));
     }
 
+    if crate::perfmon::enabled() {
+        cluster.enable_perf(crate::perfmon::probe());
+    }
     let outcome = cluster.run();
+    if let Some(p) = &outcome.perf {
+        crate::perfmon::record(p);
+    }
     let summary = outcome
         .metrics
         .summarize(&replicable_stage_indices());

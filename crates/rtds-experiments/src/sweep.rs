@@ -3,10 +3,13 @@
 //! Each figure plots a metric against the experiment's **maximum
 //! workload** in scale units of 500 tracks, one independent simulation per
 //! point per policy. Points are embarrassingly parallel; the sweep fans
-//! them out over scoped threads (crossbeam) and collects into a mutex-
-//! guarded vector (parking_lot), then restores deterministic order.
+//! them out over `std::thread::scope` workers pulling from an atomic
+//! work index, collects into a mutex-guarded vector, then restores
+//! deterministic order. Thread count never affects results — only
+//! `wall_ms` (measured wall-clock, excluded from golden comparisons)
+//! varies between runs.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use rtds_arm::predictor::Predictor;
 use crate::scenario::{run_scenario, PatternSpec, PolicySpec, ScenarioConfig};
@@ -35,6 +38,10 @@ pub struct SweepPoint {
     pub combined: f64,
     /// Placement changes over the run.
     pub placement_changes: u64,
+    /// Wall-clock time this point's simulation took, in milliseconds.
+    /// Non-deterministic by nature: report it, but never fold it into
+    /// golden or cross-thread-count comparisons.
+    pub wall_ms: f64,
 }
 
 /// Sweep parameters.
@@ -98,22 +105,21 @@ pub fn run_sweep(cfg: &SweepConfig, predictor: &Predictor) -> Vec<SweepPoint> {
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let threads = cfg.threads.clamp(1, jobs.len());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
                 let (order, units, policy) = jobs[i];
                 let point = run_point(cfg, units, policy, predictor);
-                results.lock().push((order, point));
+                results.lock().expect("sweep results poisoned").push((order, point));
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    let mut out = results.into_inner();
+    let mut out = results.into_inner().expect("sweep results poisoned");
     out.sort_by_key(|(order, _)| *order);
     out.into_iter().map(|(_, p)| p).collect()
 }
@@ -136,7 +142,9 @@ fn run_point(
         online_refinement: false,
         failures: Vec::new(),
     };
+    let started = std::time::Instant::now();
     let r = run_scenario(&scenario, predictor);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     SweepPoint {
         units,
         policy,
@@ -146,7 +154,33 @@ fn run_point(
         avg_replicas: r.summary.avg_replicas,
         combined: r.breakdown.combined,
         placement_changes: r.summary.placement_changes,
+        wall_ms,
     }
+}
+
+/// Renders the *deterministic* fields of sweep points as CSV text — every
+/// field except `wall_ms`. Two runs of the same sweep must produce
+/// byte-identical output from this function regardless of thread count.
+pub fn deterministic_csv(points: &[SweepPoint]) -> String {
+    let mut out = String::from(
+        "units,policy,missed_pct,cpu_pct,net_pct,avg_replicas,combined,placement_changes\n",
+    );
+    for p in points {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{},{},{:?},{:?},{:?},{:?},{:?},{}",
+            p.units,
+            p.policy.name(),
+            p.missed_pct,
+            p.cpu_pct,
+            p.net_pct,
+            p.avg_replicas,
+            p.combined,
+            p.placement_changes,
+        );
+    }
+    out
 }
 
 /// Selects the points of one policy, ordered by unit.
@@ -190,6 +224,22 @@ mod tests {
             assert_eq!(a.missed_pct, b.missed_pct);
             assert_eq!(a.combined, b.combined);
         }
+        // The full deterministic serialization must agree byte for byte.
+        assert_eq!(deterministic_csv(&seq), deterministic_csv(&par));
+    }
+
+    #[test]
+    fn sweep_points_record_positive_wall_clock() {
+        let mut cfg = SweepConfig::quick(PatternSpec::Triangular { half_period: 10 });
+        cfg.units = vec![4];
+        cfg.n_periods = 10;
+        cfg.threads = 1;
+        let pts = run_sweep(&cfg, &quick_predictor());
+        for p in &pts {
+            assert!(p.wall_ms > 0.0, "wall clock should be measured: {}", p.wall_ms);
+        }
+        // And the deterministic CSV deliberately excludes it.
+        assert!(!deterministic_csv(&pts).contains("wall"));
     }
 
     #[test]

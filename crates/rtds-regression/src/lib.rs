@@ -14,6 +14,9 @@
 //!   six-parameter fit;
 //! * [`buffer`] — the Eq. (4)–(6) communication-delay model (linear buffer
 //!   delay plus deterministic transmission delay);
+//! * [`incremental`] — recursive least squares with exponential
+//!   forgetting: rank-1 Sherman–Morrison updates of the inverse normal
+//!   matrix, O(K²) per observation instead of an O(window · K²) refit;
 //! * [`stats`] — goodness-of-fit statistics (R², RMSE, MAE, residuals).
 //!
 //! Everything is `f64`, allocation-light, and dependency-free beyond
@@ -23,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod buffer;
+pub mod incremental;
 pub mod linear;
 pub mod matrix;
 pub mod model;
@@ -31,6 +35,7 @@ pub mod stats;
 pub mod validate;
 
 pub use buffer::{BufferDelayModel, BufferDelaySample, CommDelayModel};
+pub use incremental::RecursiveLeastSquares;
 pub use linear::{MultipleLinear, SimpleLinear};
 pub use matrix::{Matrix, SolveError};
 pub use model::{ExecLatencyModel, LatencySample};

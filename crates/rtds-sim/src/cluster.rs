@@ -10,18 +10,20 @@
 //! the seed), the same task specs, workload functions, and controller
 //! decisions, two runs produce identical event sequences and metrics.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::clock::{ClockConfig, ClockModel};
 use crate::control::{ControlAction, ControlContext, Controller, PeriodObservation, StageObservation};
 use crate::event::EventQueue;
+use crate::hashing::FxHashMap;
 use crate::ids::{JobId, MsgId, NodeId, StageId, SubtaskIdx, TaskId};
 use crate::job::{Job, JobKind};
 use crate::load::LoadGenerator;
 use crate::metrics::{PeriodRecord, RunMetrics};
 use crate::net::{BusConfig, Message, MsgPayload, SendOutcome, SharedBus};
 use crate::node::{Node, Running};
-use crate::pipeline::{split_tracks, InstanceState, TaskRuntime, TaskSpec};
+use crate::perf::{PerfReport, PerfState};
+use crate::pipeline::{split_tracks_into, InstanceState, TaskRuntime, TaskSpec};
 use crate::rng::SimRng;
 use crate::sched::SchedulerKind;
 use crate::trace::{TraceEvent, TraceSink};
@@ -95,6 +97,22 @@ enum Ev {
     NodeFail { node: NodeId },
 }
 
+impl Ev {
+    /// Index into [`crate::perf::PHASE_NAMES`] for the perf breakdown.
+    fn kind_index(&self) -> usize {
+        match self {
+            Ev::PeriodRelease { .. } => 0,
+            Ev::Dispatch { .. } => 1,
+            Ev::BgPoll { .. } => 2,
+            Ev::TxComplete => 3,
+            Ev::Deliver { .. } => 4,
+            Ev::ClockSync => 5,
+            Ev::Sample => 6,
+            Ev::NodeFail { .. } => 7,
+        }
+    }
+}
+
 /// Outcome of a completed run.
 pub struct RunOutcome {
     /// Everything measured.
@@ -103,6 +121,8 @@ pub struct RunOutcome {
     pub controller: &'static str,
     /// The event trace, if tracing was enabled.
     pub trace: Option<TraceSink>,
+    /// Performance counters, if `enable_perf` was called before the run.
+    pub perf: Option<PerfReport>,
 }
 
 /// The simulated distributed system.
@@ -117,21 +137,72 @@ pub struct Cluster {
     tasks: Vec<TaskRuntime>,
     workloads: Vec<WorkloadFn>,
     controller: Box<dyn Controller>,
-    jobs: HashMap<JobId, Job>,
-    next_job: u32,
+    /// Live jobs in a slot-reuse slab: `JobId` *is* the slot index, so
+    /// the admit → dispatch → complete lifecycle (one per background
+    /// arrival, millions per run) costs three `Vec` accesses instead of
+    /// three hash-map operations. Ids are recycled; every id held by a
+    /// scheduler queue or a `Running` slot is live by construction.
+    jobs: Vec<Option<Job>>,
+    /// Vacated job slots awaiting reuse.
+    free_jobs: Vec<u32>,
     /// Messages between transmission completion (or local send) and
     /// delivery.
-    in_flight: HashMap<MsgId, Message>,
+    in_flight: FxHashMap<MsgId, Message>,
     metrics: RunMetrics,
     /// Observations completed since the controller last ran.
     pending_obs: Vec<PeriodObservation>,
     /// Map (task, instance) → index into `metrics.periods`.
-    record_idx: HashMap<(TaskId, u64), usize>,
+    record_idx: FxHashMap<(TaskId, u64), usize>,
     /// Bus busy total at the previous sample, for interval net utilization.
     sampled_bus_busy: SimDuration,
     sampled_at: SimTime,
     /// Optional structured trace.
     trace: Option<TraceSink>,
+    // Scratch buffers reused across hot-path calls (dispatch fan-out and
+    // message fan-out run once per stage per period); taken with
+    // `mem::take` for the duration of a call and restored afterwards so
+    // their capacity persists and the steady state allocates nothing.
+    scratch_nodes: Vec<NodeId>,
+    scratch_nodes2: Vec<NodeId>,
+    scratch_shares: Vec<u64>,
+    /// Reusable controller snapshot: static fields are built once, dynamic
+    /// fields are refreshed in place each control epoch.
+    ctx_scratch: Option<ControlContext>,
+    /// Retired observation buffer, swapped with `pending_obs` each control
+    /// epoch so both keep their capacity.
+    obs_scratch: Vec<PeriodObservation>,
+    /// Per-node virtual dispatch chains: when a node runs a *lone* job
+    /// (empty ready queue) spanning several quanta, every intermediate
+    /// per-quantum `Dispatch` is a state no-op — it serves one quantum,
+    /// requeues into an empty queue, picks the same job back, and
+    /// schedules the next slice. Those events are elided from the heap;
+    /// this chain tracks the `(time, seq)` key the *next* one would have
+    /// carried, with the seq allocated at the exact point the real event
+    /// would have been scheduled, so same-time tie-breaking is
+    /// bit-identical to the unelided execution (see
+    /// [`EventQueue::alloc_seq`]). An arrival at the node re-materializes
+    /// the pending link as a real truncated dispatch.
+    chains: Vec<Option<DispatchChain>>,
+    /// Number of `Some` entries in `chains`, to skip the scan when idle.
+    active_chains: usize,
+    /// Instrumentation, present only when `enable_perf` was called. The
+    /// hot loop pays a single branch per event when this is `None`.
+    perf: Option<Box<PerfState>>,
+}
+
+/// The elided continuation of a lone running job (see `Cluster::chains`).
+#[derive(Debug, Clone, Copy)]
+struct DispatchChain {
+    /// Time of the next (elided) quantum-boundary dispatch.
+    next_at: SimTime,
+    /// The sequence number that dispatch would occupy in the event queue.
+    next_seq: u64,
+    /// When the job completes if it keeps the CPU: `slice_start +
+    /// remaining` at chain creation. The dispatch at this instant has real
+    /// effects and is scheduled as a real event when the chain reaches it.
+    completion: SimTime,
+    /// The node's scheduling quantum (chains only exist under a quantum).
+    quantum: SimDuration,
 }
 
 impl Cluster {
@@ -147,6 +218,7 @@ impl Cluster {
             .collect();
         let clocks = ClockModel::new(config.n_nodes, config.clock, &mut rng);
         let bus = SharedBus::new(config.bus);
+        let n_nodes = config.n_nodes;
         Cluster {
             config,
             queue: EventQueue::with_capacity(1024),
@@ -158,21 +230,37 @@ impl Cluster {
             tasks: Vec::new(),
             workloads: Vec::new(),
             controller: Box::new(crate::control::NullController),
-            jobs: HashMap::new(),
-            next_job: 0,
-            in_flight: HashMap::new(),
+            jobs: Vec::new(),
+            free_jobs: Vec::new(),
+            in_flight: FxHashMap::default(),
             metrics: RunMetrics::default(),
             pending_obs: Vec::new(),
-            record_idx: HashMap::new(),
+            record_idx: FxHashMap::default(),
             sampled_bus_busy: SimDuration::ZERO,
             sampled_at: SimTime::ZERO,
             trace: None,
+            scratch_nodes: Vec::new(),
+            scratch_nodes2: Vec::new(),
+            scratch_shares: Vec::new(),
+            ctx_scratch: None,
+            obs_scratch: Vec::new(),
+            chains: vec![None; n_nodes],
+            active_chains: 0,
+            perf: None,
         }
     }
 
     /// Enables structured tracing with the given event capacity.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(TraceSink::bounded(capacity));
+    }
+
+    /// Enables performance instrumentation for the coming run. The
+    /// optional `alloc_probe` is a monotone allocation counter (installed
+    /// by the embedding binary; the simulator itself forbids `unsafe` and
+    /// cannot count allocations) sampled around each control epoch.
+    pub fn enable_perf(&mut self, alloc_probe: Option<fn() -> u64>) {
+        self.perf = Some(Box::new(PerfState::new(alloc_probe)));
     }
 
     /// Schedules a node failure at the given instant (fault injection).
@@ -239,7 +327,8 @@ impl Cluster {
 
     /// Runs the simulation to the horizon and returns the metrics.
     pub fn run(mut self) -> RunOutcome {
-        // Seed the initial event population.
+        // Seed the initial event population in one reserved burst.
+        self.queue.reserve(self.tasks.len() + self.loadgens.len() + 2);
         for t in 0..self.tasks.len() {
             self.queue.schedule(
                 SimTime::ZERO,
@@ -259,18 +348,73 @@ impl Cluster {
             .schedule(SimTime::ZERO + self.config.clock.sync_interval, Ev::ClockSync);
 
         let horizon = SimTime::ZERO + self.config.horizon;
-        while let Some(t) = self.queue.peek_time() {
+        if let Some(p) = self.perf.as_mut() {
+            p.run_started = Some(std::time::Instant::now());
+        }
+        loop {
+            // The earliest pending work is the min over the real queue
+            // and the virtual chain links (elided lone-job dispatches);
+            // both carry a total `(time, seq)` order key.
+            let queue_key = self.queue.peek_key();
+            let chain_key = self.min_chain();
+            let (t, chain_node) = match (queue_key, chain_key) {
+                (None, None) => break,
+                (Some((qt, qs)), Some((ct, cs, i))) => {
+                    if (ct, cs) < (qt, qs) {
+                        (ct, Some(i))
+                    } else {
+                        (qt, None)
+                    }
+                }
+                (Some((qt, _)), None) => (qt, None),
+                (None, Some((ct, _, i))) => (ct, Some(i)),
+            };
             if t > horizon {
                 break;
             }
-            let (now, ev) = self.queue.pop().expect("peeked event exists");
-            self.handle(now, ev);
+            let (now, ev) = match chain_node {
+                Some(i) => {
+                    let link = self.chains[i].expect("chain link exists");
+                    if link.next_at < link.completion {
+                        self.advance_chain(i);
+                        continue;
+                    }
+                    // The chain's final link: the lone job's completion
+                    // dispatch, fired as a direct handler call with no
+                    // heap round-trip.
+                    self.chains[i] = None;
+                    self.active_chains -= 1;
+                    self.queue.advance_now(link.next_at);
+                    (link.next_at, Ev::Dispatch { node: self.nodes[i].id })
+                }
+                None => self.queue.pop().expect("peeked event exists"),
+            };
+            if self.perf.is_none() {
+                self.handle(now, ev);
+            } else {
+                let kind = ev.kind_index();
+                let t0 = std::time::Instant::now();
+                self.handle(now, ev);
+                let dt = t0.elapsed().as_nanos() as u64;
+                let p = self.perf.as_mut().expect("perf enabled");
+                p.report.events[kind] += 1;
+                p.report.ns[kind] += dt;
+            }
         }
         self.finalize(horizon);
+        let perf = self.perf.take().map(|mut p| {
+            p.report.queue = self.queue.stats();
+            p.report.wall_ns = p
+                .run_started
+                .map(|s| s.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            p.report
+        });
         RunOutcome {
             metrics: self.metrics,
             controller: self.controller.name(),
             trace: self.trace,
+            perf,
         }
     }
 
@@ -301,8 +445,13 @@ impl Cluster {
         self.nodes[node.index()].alive = false;
         self.record_trace(now, TraceEvent::NodeFailed { node });
         let mut lost: Vec<JobId> = Vec::new();
+        if self.chains[node.index()].take().is_some() {
+            self.active_chains -= 1;
+        }
         if let Some(running) = self.nodes[node.index()].running.take() {
-            self.queue.cancel(running.dispatch_handle);
+            if let Some(h) = running.dispatch_handle {
+                self.queue.cancel(h);
+            }
             lost.push(running.job);
         }
         while let Some(j) = self.nodes[node.index()].sched.pick() {
@@ -310,7 +459,7 @@ impl Cluster {
         }
         self.nodes[node.index()].end_busy(now);
         for jid in lost {
-            if let Some(job) = self.jobs.remove(&jid) {
+            if let Some(job) = self.remove_job(jid) {
                 if let JobKind::Stage { stage, instance, .. } = job.kind {
                     self.fail_instance(now, stage.task, instance);
                 }
@@ -408,15 +557,22 @@ impl Cluster {
     /// sensor data is locally available, so replica jobs are admitted
     /// directly; later stages are started by message delivery.
     fn start_stage(&mut self, now: SimTime, task: TaskId, index: u64, stage: SubtaskIdx) {
+        // Borrow the scratch buffers for the call; `admit_job` needs `&mut
+        // self`, so the replica list and shares live outside `self` while
+        // jobs are admitted. Capacity survives across calls.
+        let mut nodes = std::mem::take(&mut self.scratch_nodes);
+        let mut shares = std::mem::take(&mut self.scratch_shares);
         let rt = &mut self.tasks[task.index()];
         let inst = rt.instances.get_mut(&index).expect("instance exists");
-        let nodes = inst.placement[stage.index()].clone();
-        let shares = split_tracks(inst.tracks, nodes.len());
+        nodes.clear();
+        nodes.extend_from_slice(&inst.placement[stage.index()]);
+        split_tracks_into(inst.tracks, nodes.len(), &mut shares);
         let cost = rt.spec.stages[stage.index()].cost;
         {
             let prog = &mut inst.stages[stage.index()];
             prog.started = Some(now);
-            prog.tracks_in = shares.clone();
+            prog.tracks_in.clear();
+            prog.tracks_in.extend_from_slice(&shares);
             for d in prog.msg_delay.iter_mut() {
                 *d = Some(SimDuration::ZERO);
             }
@@ -436,6 +592,8 @@ impl Cluster {
                 0,
             );
         }
+        self.scratch_nodes = nodes;
+        self.scratch_shares = shares;
     }
 
     fn on_dispatch(&mut self, now: SimTime, node: NodeId) {
@@ -445,10 +603,12 @@ impl Cluster {
             .expect("dispatch event on idle node");
         debug_assert_eq!(running.slice_end, now, "dispatch at wrong instant");
         let served = now.since(running.slice_start);
-        let job = self.jobs.get_mut(&running.job).expect("running job exists");
+        let job = self.jobs[running.job.index()]
+            .as_mut()
+            .expect("running job exists");
         job.serve(served);
         if job.is_complete() {
-            let job = self.jobs.remove(&running.job).expect("job exists");
+            let job = self.remove_job(running.job).expect("job exists");
             if let JobKind::Stage { stage, replica, instance } = job.kind {
                 let released = job.released;
                 self.on_stage_job_complete(now, stage, replica, instance, released);
@@ -584,24 +744,24 @@ impl Cluster {
         from: SubtaskIdx,
         to: SubtaskIdx,
     ) {
-        let (src_nodes, dst_nodes, shares, bytes_per_track) = {
+        let mut src_nodes = std::mem::take(&mut self.scratch_nodes);
+        let mut dst_nodes = std::mem::take(&mut self.scratch_nodes2);
+        let mut shares = std::mem::take(&mut self.scratch_shares);
+        let bytes_per_track = {
             let rt = &mut self.tasks[task.index()];
             let inst = rt.instances.get_mut(&instance).expect("instance exists");
-            let src_nodes = inst.placement[from.index()].clone();
-            let dst_nodes = inst.placement[to.index()].clone();
+            src_nodes.clear();
+            src_nodes.extend_from_slice(&inst.placement[from.index()]);
+            dst_nodes.clear();
+            dst_nodes.extend_from_slice(&inst.placement[to.index()]);
             let n_msgs = src_nodes.len().max(dst_nodes.len());
-            let shares = split_tracks(inst.tracks, n_msgs);
+            split_tracks_into(inst.tracks, n_msgs, &mut shares);
             let prog = &mut inst.stages[to.index()];
             prog.started = Some(now);
             for (i, _) in shares.iter().enumerate() {
                 prog.msgs_expected[i % dst_nodes.len()] += 1;
             }
-            (
-                src_nodes,
-                dst_nodes,
-                shares,
-                rt.spec.stages[from.index()].output_bytes_per_track,
-            )
+            rt.spec.stages[from.index()].output_bytes_per_track
         };
         let stage_id = StageId::new(task, to);
         for (i, &share) in shares.iter().enumerate() {
@@ -627,6 +787,9 @@ impl Cluster {
                 SendOutcome::Queued { .. } => {}
             }
         }
+        self.scratch_nodes = src_nodes;
+        self.scratch_nodes2 = dst_nodes;
+        self.scratch_shares = shares;
     }
 
     fn on_tx_complete(&mut self, now: SimTime) {
@@ -750,57 +913,159 @@ impl Cluster {
             }
             return;
         }
-        let id = JobId(self.next_job);
-        self.next_job += 1;
+        let slot = match self.free_jobs.pop() {
+            Some(s) => s,
+            None => {
+                self.jobs.push(None);
+                (self.jobs.len() - 1) as u32
+            }
+        };
+        let id = JobId(slot);
         let job = Job::new(id, node, kind, demand, now).with_priority(priority);
-        self.jobs.insert(id, job);
+        self.jobs[slot as usize] = Some(job);
+        // The running job (if chained) is no longer alone: its pending
+        // elided dispatch becomes a real truncated slice again.
+        self.truncate_chain(node);
         self.nodes[node.index()].sched.enqueue(id, priority);
         self.try_dispatch(now, node);
     }
 
-    fn try_dispatch(&mut self, now: SimTime, node: NodeId) {
-        let n = &mut self.nodes[node.index()];
-        if n.running.is_some() {
-            return;
+    /// Frees a job slot, returning the job. The id becomes eligible for
+    /// reuse by the next admission.
+    #[inline]
+    fn remove_job(&mut self, id: JobId) -> Option<Job> {
+        let job = self.jobs[id.index()].take();
+        if job.is_some() {
+            self.free_jobs.push(id.0);
         }
-        match n.sched.pick() {
-            Some(jid) => {
-                let job = self.jobs.get_mut(&jid).expect("picked job exists");
-                if job.first_dispatch.is_none() {
-                    job.first_dispatch = Some(now);
-                }
-                let slice = match n.sched.quantum() {
-                    Some(q) => q.min(job.remaining),
-                    None => job.remaining,
-                };
-                let slice_end = now + slice;
-                let handle = self.queue.schedule(slice_end, Ev::Dispatch { node });
-                let n = &mut self.nodes[node.index()];
-                n.running = Some(Running {
-                    job: jid,
-                    slice_start: now,
-                    slice_end,
-                    dispatch_handle: handle,
-                });
-                n.begin_busy(now);
-            }
-            None => {
-                n.end_busy(now);
-            }
+        job
+    }
+
+    /// Re-materializes a node's pending elided dispatch as a real event,
+    /// in its reserved tie-break position: another job arrived, so
+    /// round-robin interleaving must resume at the next quantum boundary
+    /// exactly as it would have without elision.
+    fn truncate_chain(&mut self, node: NodeId) {
+        if let Some(link) = self.chains[node.index()].take() {
+            self.active_chains -= 1;
+            let h = self
+                .queue
+                .schedule_at_seq(link.next_at, link.next_seq, Ev::Dispatch { node });
+            let r = self.nodes[node.index()]
+                .running
+                .as_mut()
+                .expect("chained node has a running job");
+            r.slice_end = link.next_at;
+            r.dispatch_handle = Some(h);
         }
     }
 
+    /// The `(time, seq, node)` key of the earliest elided dispatch, if any.
+    #[inline]
+    fn min_chain(&self) -> Option<(SimTime, u64, usize)> {
+        if self.active_chains == 0 {
+            return None;
+        }
+        self.chains
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|l| (l.next_at, l.next_seq, i)))
+            .min()
+    }
+
+    /// Fires one elided intermediate dispatch. For the lone job this is a
+    /// state no-op (serve one quantum, requeue into an empty queue, pick
+    /// itself back), so only its bookkeeping is replayed: the dispatch
+    /// that handler would have scheduled takes the next sequence number,
+    /// now. The chain's last link — the job's completion, which has real
+    /// effects — keeps `next_at == completion` and is fired by the run
+    /// loop as a direct handler call, never touching the heap.
+    fn advance_chain(&mut self, i: usize) {
+        let link = self.chains[i].expect("chain link exists");
+        debug_assert!(link.next_at < link.completion, "final link fired as intermediate");
+        self.queue.advance_now(link.next_at);
+        let next = (link.next_at + link.quantum).min(link.completion);
+        self.chains[i] = Some(DispatchChain {
+            next_at: next,
+            next_seq: self.queue.alloc_seq(),
+            ..link
+        });
+        if let Some(p) = self.perf.as_mut() {
+            p.report.elided_dispatches += 1;
+        }
+    }
+
+    fn try_dispatch(&mut self, now: SimTime, node: NodeId) {
+        let (jid, lone, quantum) = {
+            let n = &mut self.nodes[node.index()];
+            if n.running.is_some() {
+                return;
+            }
+            match n.sched.pick() {
+                Some(jid) => (jid, n.sched.ready_len() == 0, n.sched.quantum()),
+                None => {
+                    n.end_busy(now);
+                    return;
+                }
+            }
+        };
+        let job = self.jobs[jid.index()].as_mut().expect("picked job exists");
+        if job.first_dispatch.is_none() {
+            job.first_dispatch = Some(now);
+        }
+        let remaining = job.remaining;
+        let (slice_end, handle) = match quantum {
+            // A lone job spanning several quanta: every intermediate
+            // dispatch would requeue into an empty queue and pick the
+            // same job back, so the whole run is carried on the virtual
+            // chain. The first elided dispatch would be scheduled right
+            // here; its sequence number is allocated right here.
+            Some(q) if lone && remaining > q => {
+                let completion = now + remaining;
+                self.chains[node.index()] = Some(DispatchChain {
+                    next_at: now + q,
+                    next_seq: self.queue.alloc_seq(),
+                    completion,
+                    quantum: q,
+                });
+                self.active_chains += 1;
+                (completion, None)
+            }
+            Some(q) => {
+                let end = now + q.min(remaining);
+                (end, Some(self.queue.schedule(end, Ev::Dispatch { node })))
+            }
+            None => {
+                let end = now + remaining;
+                (end, Some(self.queue.schedule(end, Ev::Dispatch { node })))
+            }
+        };
+        let n = &mut self.nodes[node.index()];
+        n.running = Some(Running {
+            job: jid,
+            slice_start: now,
+            slice_end,
+            dispatch_handle: handle,
+        });
+        n.begin_busy(now);
+    }
+
     fn run_controller(&mut self, now: SimTime) {
-        let obs = std::mem::take(&mut self.pending_obs);
-        let ctx = ControlContext {
+        // Swap the pending observations out through the retired scratch
+        // buffer: both vectors keep their capacity across control epochs.
+        let mut obs = std::mem::take(&mut self.obs_scratch);
+        obs.clear();
+        std::mem::swap(&mut obs, &mut self.pending_obs);
+
+        // Reuse one ControlContext for the whole run. The per-task static
+        // fields (replicability, periods, deadlines) are built exactly
+        // once; the dynamic fields are refreshed in place. Placements are
+        // Arc clones of the runtimes' current placement — no deep copy.
+        let mut ctx = self.ctx_scratch.take().unwrap_or_else(|| ControlContext {
             now,
-            node_util_pct: self
-                .nodes
-                .iter()
-                .map(|n| n.observed_utilization_pct())
-                .collect(),
-            alive: self.nodes.iter().map(|n| n.alive).collect(),
-            placements: self.tasks.iter().map(|t| t.placement.clone()).collect(),
+            node_util_pct: Vec::with_capacity(self.nodes.len()),
+            alive: Vec::with_capacity(self.nodes.len()),
+            placements: Vec::with_capacity(self.tasks.len()),
             replicable: self
                 .tasks
                 .iter()
@@ -808,9 +1073,37 @@ impl Cluster {
                 .collect(),
             periods: self.tasks.iter().map(|t| t.spec.period).collect(),
             deadlines: self.tasks.iter().map(|t| t.spec.deadline).collect(),
-            last_tracks: self.tasks.iter().map(|t| t.last_tracks).collect(),
+            last_tracks: Vec::with_capacity(self.tasks.len()),
+        });
+        ctx.now = now;
+        ctx.node_util_pct.clear();
+        ctx.node_util_pct
+            .extend(self.nodes.iter().map(|n| n.observed_utilization_pct()));
+        ctx.alive.clear();
+        ctx.alive.extend(self.nodes.iter().map(|n| n.alive));
+        ctx.placements.clear();
+        ctx.placements
+            .extend(self.tasks.iter().map(|t| Arc::clone(&t.placement)));
+        ctx.last_tracks.clear();
+        ctx.last_tracks.extend(self.tasks.iter().map(|t| t.last_tracks));
+
+        let actions = match self.perf.as_ref().map(|p| p.alloc_probe) {
+            None => self.controller.on_period_boundary(&obs, &ctx),
+            Some(probe) => {
+                let alloc0 = probe.map(|f| f());
+                let t0 = std::time::Instant::now();
+                let actions = self.controller.on_period_boundary(&obs, &ctx);
+                let dt = t0.elapsed().as_nanos() as u64;
+                if let Some(p) = self.perf.as_mut() {
+                    p.report.control_epochs += 1;
+                    p.report.controller_ns += dt;
+                    if let (Some(a0), Some(f)) = (alloc0, probe) {
+                        *p.report.epoch_allocs.get_or_insert(0) += f().saturating_sub(a0);
+                    }
+                }
+                actions
+            }
         };
-        let actions = self.controller.on_period_boundary(&obs, &ctx);
         for a in actions {
             match a {
                 ControlAction::SetPlacement { task, subtask, nodes } => {
@@ -843,6 +1136,8 @@ impl Cluster {
                 }
             }
         }
+        self.ctx_scratch = Some(ctx);
+        self.obs_scratch = obs;
     }
 
     fn finalize(&mut self, horizon: SimTime) {

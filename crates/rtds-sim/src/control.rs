@@ -14,6 +14,8 @@
 //! regression machinery) lets the predictive algorithm, the non-predictive
 //! baseline, and any future policy plug in symmetrically.
 
+use std::sync::Arc;
+
 use crate::ids::{NodeId, SubtaskIdx, TaskId};
 use crate::time::{SimDuration, SimTime};
 
@@ -65,8 +67,10 @@ pub struct ControlContext {
     /// Liveness per node; dead nodes (fault injection) must not receive
     /// replicas.
     pub alive: Vec<bool>,
-    /// Current placement (`PS(st)`) per task, per stage.
-    pub placements: Vec<Vec<Vec<NodeId>>>,
+    /// Current placement (`PS(st)`) per task, per stage. Each task's entry
+    /// shares the runtime's placement `Arc` (no per-snapshot deep clone);
+    /// `Deref` makes `ctx.placements[t][stage]` read as before.
+    pub placements: Vec<Arc<Vec<Vec<NodeId>>>>,
     /// Replicability per task, per stage.
     pub replicable: Vec<Vec<bool>>,
     /// Period of each task.
@@ -161,7 +165,7 @@ mod tests {
             now: SimTime::from_secs(1),
             alive: vec![true; utils.len()],
             node_util_pct: utils,
-            placements: vec![vec![vec![NodeId(0)]]],
+            placements: vec![Arc::new(vec![vec![NodeId(0)]])],
             replicable: vec![vec![true]],
             periods: vec![SimDuration::from_secs(1)],
             deadlines: vec![SimDuration::from_millis(990)],

@@ -4,6 +4,13 @@
 //! broken by insertion order (a monotone sequence number), so two runs with
 //! the same inputs pop events in exactly the same order — a prerequisite for
 //! reproducible experiments.
+//!
+//! Cancellation is lazy (O(1)): the entry stays in the heap as a tombstone
+//! and is dropped when it surfaces. Handle liveness is tracked through a
+//! small generation-stamped slot table instead of hash sets, so the
+//! schedule/cancel/pop hot path does no hashing and no per-event
+//! allocation; when tombstones outnumber live entries the heap is
+//! compacted in one pass, bounding both memory and pop-skip work.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -11,12 +18,35 @@ use std::collections::BinaryHeap;
 use crate::time::SimTime;
 
 /// A handle to a scheduled event, usable for cancellation.
+///
+/// Handles are generation-stamped: once the event is popped or cancelled,
+/// the handle goes stale and any further `cancel` through it reports
+/// `false`, even if the internal slot has been reused since.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventHandle(u64);
+pub struct EventHandle {
+    slot: u32,
+    gen: u32,
+}
+
+/// Operation counters, exposed for the perf layer and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events delivered by `pop`.
+    pub popped: u64,
+    /// Successful cancellations.
+    pub cancelled: u64,
+    /// Tombstone compaction passes performed.
+    pub compactions: u64,
+    /// Largest heap population observed (live + tombstones).
+    pub heap_high_water: usize,
+}
 
 struct Entry<E> {
     time: SimTime,
     seq: u64,
+    slot: u32,
     event: E,
 }
 
@@ -42,21 +72,37 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Per-slot lifecycle state; `gen` advances each time the slot is reused,
+/// invalidating handles from its previous life.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Vacant,
+    Pending,
+    Cancelled,
+}
+
+#[derive(Clone, Copy)]
+struct Slot {
+    gen: u32,
+    state: SlotState,
+}
+
+/// Compaction triggers only on heaps at least this big; tiny heaps are
+/// cheaper to skip through than to rebuild.
+const COMPACT_MIN_HEAP: usize = 64;
+
 /// Deterministic event queue with cancellation support.
-///
-/// Cancellation is lazy: cancelled handles are remembered and the entry is
-/// dropped when it reaches the head of the heap, keeping `cancel` O(1).
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
-    /// Sequence numbers still live in the heap (scheduled, not yet popped
-    /// or cancelled). Lets `cancel` distinguish a pending handle from a
-    /// stale one in O(1).
-    pending: std::collections::HashSet<u64>,
-    cancelled: std::collections::HashSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Cancelled entries still sitting in the heap.
+    tombstones: usize,
     /// Time of the most recently popped event; pops are checked to be
     /// monotone so a mis-scheduled past event is caught immediately.
     last_popped: SimTime,
+    stats: QueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -68,13 +114,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            pending: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
-            last_popped: SimTime::ZERO,
-        }
+        Self::with_capacity(0)
     }
 
     /// Creates an empty queue with pre-allocated capacity.
@@ -82,10 +122,46 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
             seq: 0,
-            pending: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            tombstones: 0,
             last_popped: SimTime::ZERO,
+            stats: QueueStats::default(),
         }
+    }
+
+    /// Pre-allocates room for `additional` more scheduled events, so a
+    /// burst of `schedule` calls (e.g. seeding a simulation, fanning a
+    /// stage out to replicas) does not re-grow the heap midway.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        let needed = (self.heap.len() + additional).saturating_sub(self.slots.capacity());
+        self.slots.reserve(needed);
+    }
+
+    fn alloc_slot(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].state = SlotState::Pending;
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    state: SlotState::Pending,
+                });
+                s
+            }
+        }
+    }
+
+    #[inline]
+    fn release_slot(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.state = SlotState::Vacant;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
     }
 
     /// Schedules `event` at absolute time `at` and returns a cancellable
@@ -102,30 +178,144 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.pending.insert(seq);
-        self.heap.push(Entry { time: at, seq, event });
-        EventHandle(seq)
+        let slot = self.alloc_slot();
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            slot,
+            event,
+        });
+        self.stats.scheduled += 1;
+        if self.heap.len() > self.stats.heap_high_water {
+            self.stats.heap_high_water = self.heap.len();
+        }
+        EventHandle {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
+    }
+
+    /// Reserves the next sequence number without scheduling anything.
+    ///
+    /// Together with [`schedule_at_seq`](Self::schedule_at_seq) this
+    /// supports *event elision*: a caller that can prove a future event's
+    /// handler is a state no-op may skip enqueueing it, but must still
+    /// consume its sequence number at the exact point the event would
+    /// have been scheduled, so that tie-breaking among same-time events
+    /// is bit-identical to the unelided execution.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    /// Schedules `event` at `at` under a sequence number previously
+    /// obtained from [`alloc_seq`](Self::alloc_seq), re-materializing an
+    /// elided event in its original tie-break position.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the last popped event time.
+    pub fn schedule_at_seq(&mut self, at: SimTime, seq: u64, event: E) -> EventHandle {
+        assert!(
+            at >= self.last_popped,
+            "scheduling into the past: at={at}, now={}",
+            self.last_popped
+        );
+        debug_assert!(seq < self.seq, "seq was not allocated by alloc_seq");
+        let slot = self.alloc_slot();
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            slot,
+            event,
+        });
+        self.stats.scheduled += 1;
+        if self.heap.len() > self.stats.heap_high_water {
+            self.stats.heap_high_water = self.heap.len();
+        }
+        EventHandle {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
+    }
+
+    /// Advances the queue's notion of "now" to `t` without popping, as if
+    /// an event at `t` had just been popped. Callers that fire elided
+    /// events (see [`alloc_seq`](Self::alloc_seq)) use this so that
+    /// schedule-into-the-past detection stays as strict as in the
+    /// unelided execution. Earlier times are ignored.
+    pub fn advance_now(&mut self, t: SimTime) {
+        if t > self.last_popped {
+            self.last_popped = t;
+        }
+    }
+
+    /// Schedules a batch of `(time, event)` pairs, reserving capacity up
+    /// front. Events are sequenced in iteration order, exactly as repeated
+    /// `schedule` calls would be; the handles are discarded, so use this
+    /// for events that are never cancelled individually.
+    pub fn schedule_batch<I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let it = items.into_iter();
+        self.reserve(it.size_hint().0);
+        for (at, event) in it {
+            let _ = self.schedule(at, event);
+        }
     }
 
     /// Cancels a previously scheduled event. Returns true if the handle was
     /// still pending (i.e. not already popped or cancelled).
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if !self.pending.remove(&handle.0) {
+        let Some(slot) = self.slots.get_mut(handle.slot as usize) else {
+            return false;
+        };
+        if slot.gen != handle.gen || slot.state != SlotState::Pending {
             return false;
         }
-        self.cancelled.insert(handle.0);
+        slot.state = SlotState::Cancelled;
+        self.tombstones += 1;
+        self.stats.cancelled += 1;
+        self.maybe_compact();
         true
+    }
+
+    /// Rebuilds the heap without its tombstones once they outnumber the
+    /// live entries. One O(n) pass bounds heap memory and the skip work
+    /// every subsequent pop would otherwise pay. Ordering is untouched:
+    /// relative order is fully determined by each entry's `(time, seq)`
+    /// key, which the rebuild preserves.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() < COMPACT_MIN_HEAP || self.tombstones * 2 <= self.heap.len() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut live = Vec::with_capacity(entries.len() - self.tombstones);
+        for e in entries {
+            if self.slots[e.slot as usize].state == SlotState::Cancelled {
+                self.release_slot(e.slot);
+            } else {
+                live.push(e);
+            }
+        }
+        self.tombstones = 0;
+        self.heap = BinaryHeap::from(live);
+        self.stats.compactions += 1;
     }
 
     /// Pops the earliest pending event, skipping cancelled entries.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if self.slots[entry.slot as usize].state == SlotState::Cancelled {
+                self.tombstones -= 1;
+                self.release_slot(entry.slot);
                 continue;
             }
-            self.pending.remove(&entry.seq);
+            self.release_slot(entry.slot);
             debug_assert!(entry.time >= self.last_popped);
             self.last_popped = entry.time;
+            self.stats.popped += 1;
             return Some((entry.time, entry.event));
         }
         None
@@ -133,14 +323,22 @@ impl<E> EventQueue<E> {
 
     /// Time of the earliest pending (non-cancelled) event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// `(time, seq)` key of the earliest pending event, if any. The key
+    /// totally orders events: lets callers interleave elided virtual
+    /// events (see [`alloc_seq`](Self::alloc_seq)) with real pops.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
         // Drain cancelled entries off the top so the peek is accurate.
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
+            if self.slots[entry.slot as usize].state == SlotState::Cancelled {
+                let slot = entry.slot;
                 self.heap.pop();
-                self.cancelled.remove(&seq);
+                self.tombstones -= 1;
+                self.release_slot(slot);
             } else {
-                return Some(entry.time);
+                return Some((entry.time, entry.seq));
             }
         }
         None
@@ -148,7 +346,7 @@ impl<E> EventQueue<E> {
 
     /// Number of live (pending, non-cancelled) entries.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.heap.len() - self.tombstones
     }
 
     /// True if no live events remain.
@@ -160,6 +358,11 @@ impl<E> EventQueue<E> {
     /// simulation driven by this queue).
     pub fn now(&self) -> SimTime {
         self.last_popped
+    }
+
+    /// Operation counters since construction.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -201,12 +404,38 @@ mod tests {
     }
 
     #[test]
+    fn elided_events_rematerialize_in_original_tie_break_position() {
+        // Three events at the same time: A scheduled, an elided slot E,
+        // then B scheduled. Re-materializing E later must land it between
+        // A and B, exactly where a real schedule would have put it.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule(t, "A");
+        let seq = q.alloc_seq();
+        q.schedule(t, "B");
+        q.schedule_at_seq(t, seq, "E");
+        assert_eq!(q.peek_key().map(|(_, s)| s), Some(0));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["A", "E", "B"]);
+    }
+
+    #[test]
+    fn rematerialized_events_are_cancellable() {
+        let mut q = EventQueue::new();
+        let seq = q.alloc_seq();
+        let h = q.schedule_at_seq(SimTime::from_millis(1), seq, 7u32);
+        assert!(q.cancel(h));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn cancel_is_idempotent_and_rejects_unknown() {
         let mut q = EventQueue::new();
         let h = q.schedule(SimTime::from_micros(10), ());
         assert!(q.cancel(h));
         assert!(!q.cancel(h), "second cancel must report false");
-        assert!(!q.cancel(EventHandle(999)), "never-issued handle");
+        let never_issued = EventHandle { slot: 999, gen: 0 };
+        assert!(!q.cancel(never_issued), "never-issued handle");
     }
 
     #[test]
@@ -215,10 +444,27 @@ mod tests {
         let h = q.schedule(SimTime::from_micros(10), ());
         q.pop();
         // The handle is stale; cancelling must not corrupt the queue.
-        q.cancel(h);
+        assert!(!q.cancel(h));
         q.schedule(SimTime::from_micros(20), ());
         assert_eq!(q.len(), 1);
         assert!(q.pop().is_some());
+    }
+
+    #[test]
+    fn stale_handle_never_cancels_a_reused_slot() {
+        // Pop frees the handle's slot; the next schedule reuses it. The
+        // old handle must not be able to cancel the new event (ABA).
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_micros(10), "first");
+        q.pop();
+        let h2 = q.schedule(SimTime::from_micros(20), "second");
+        assert_eq!(h1.slot, h2.slot, "slot is reused");
+        assert!(!q.cancel(h1), "stale generation must be rejected");
+        assert_eq!(q.pop(), Some((SimTime::from_micros(20), "second")));
+        // And cancelling with the fresh handle still works.
+        let h3 = q.schedule(SimTime::from_micros(30), "third");
+        assert!(q.cancel(h3));
+        assert!(q.pop().is_none());
     }
 
     #[test]
@@ -256,6 +502,88 @@ mod tests {
         let (t, _) = q.pop().unwrap();
         q.schedule(t, 1u32);
         assert_eq!(q.pop(), Some((t, 1u32)));
+    }
+
+    #[test]
+    fn batch_schedule_matches_sequential_scheduling() {
+        let items = |n: u64| (0..n).map(|i| (SimTime::from_micros(1000 - i % 7), i));
+        let mut a = EventQueue::new();
+        a.schedule_batch(items(50));
+        let mut b = EventQueue::new();
+        for (t, e) in items(50) {
+            b.schedule(t, e);
+        }
+        loop {
+            let (x, y) = (a.pop(), b.pop());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_reclaims_majority_tombstones() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..200)
+            .map(|i| q.schedule(SimTime::from_micros(i), i))
+            .collect();
+        // Cancel three quarters; the tombstone majority must trigger a
+        // rebuild that shrinks the heap to the live population.
+        for h in handles.iter().take(150) {
+            assert!(q.cancel(*h));
+        }
+        let s = q.stats();
+        assert!(s.compactions >= 1, "compaction must have run: {s:?}");
+        assert_eq!(q.len(), 50);
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(popped, (150..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compaction_preserves_fifo_tie_break() {
+        // All events at the same instant; cancel a majority interleaved.
+        // Survivors must still pop in insertion order after the rebuild.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(3);
+        let handles: Vec<_> = (0..300).map(|i| q.schedule(t, i)).collect();
+        for (i, h) in handles.iter().enumerate() {
+            if i % 4 != 1 {
+                assert!(q.cancel(*h));
+            }
+        }
+        assert!(q.stats().compactions >= 1, "{:?}", q.stats());
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let expect: Vec<_> = (0..300).filter(|i| i % 4 == 1).collect();
+        assert_eq!(popped, expect, "FIFO tie-break broken by compaction");
+    }
+
+    #[test]
+    fn small_heaps_skip_compaction() {
+        let mut q = EventQueue::new();
+        let hs: Vec<_> = (0..10).map(|i| q.schedule(SimTime::from_micros(i), i)).collect();
+        for h in hs {
+            q.cancel(h);
+        }
+        assert_eq!(q.stats().compactions, 0, "below the size floor");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stats_account_for_every_operation() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_micros(1), 1);
+        let h2 = q.schedule(SimTime::from_micros(2), 2);
+        q.schedule(SimTime::from_micros(3), 3);
+        assert!(q.cancel(h2));
+        assert!(!q.cancel(h2));
+        q.pop();
+        assert!(!q.cancel(h1), "already popped");
+        let s = q.stats();
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.popped, 1);
+        assert_eq!(s.heap_high_water, 3);
     }
 
     #[test]

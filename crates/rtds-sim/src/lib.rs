@@ -60,12 +60,14 @@ pub mod clock;
 pub mod cluster;
 pub mod control;
 pub mod event;
+pub mod hashing;
 pub mod ids;
 pub mod job;
 pub mod load;
 pub mod metrics;
 pub mod net;
 pub mod node;
+pub mod perf;
 pub mod pipeline;
 pub mod rng;
 pub mod sched;
@@ -84,6 +86,7 @@ pub mod prelude {
     pub use crate::load::{LoadGenerator, PeriodicLoad, PoissonLoad};
     pub use crate::metrics::{PeriodRecord, RunMetrics, RunSummary};
     pub use crate::net::{BusConfig, SharedBus};
+    pub use crate::perf::PerfReport;
     pub use crate::pipeline::{PolynomialCost, StageSpec, TaskSpec};
     pub use crate::rng::SimRng;
     pub use crate::sched::{CpuScheduler, SchedulerKind};

@@ -20,7 +20,9 @@ pub struct Running {
     /// Scheduled end of the slice (quantum boundary or job completion).
     pub slice_end: SimTime,
     /// Handle of the pending dispatch event, for cancellation on reconfig.
-    pub dispatch_handle: EventHandle,
+    /// `None` while the slice is carried by the cluster's virtual dispatch
+    /// chain (a lone job whose per-quantum dispatches are elided).
+    pub dispatch_handle: Option<EventHandle>,
 }
 
 /// One processor.

@@ -1,0 +1,182 @@
+//! Zero-cost-when-disabled performance instrumentation.
+//!
+//! The simulator's hot loop pops millions of events per experiment; this
+//! module lets a run account for where that time goes without taxing
+//! normal runs. When disabled (the default) the only cost is one branch
+//! per popped event. When enabled, the engine records per-event-kind
+//! counts and wall nanoseconds, controller-epoch timing, event-queue
+//! operation statistics, and — if the embedder supplies an allocation
+//! probe — heap allocations per control epoch.
+//!
+//! The allocation probe is a plain `fn() -> u64` returning a monotone
+//! allocation count. The simulator crate forbids `unsafe`, so it cannot
+//! install a counting global allocator itself; binaries that want
+//! allocation numbers install their own counting allocator and pass its
+//! reader in (see `run_all --perf`).
+
+use std::time::Instant;
+
+use crate::event::QueueStats;
+
+/// Number of distinct event kinds the engine dispatches on.
+pub const N_PHASES: usize = 8;
+
+/// Labels for the per-kind breakdown, in engine dispatch order.
+pub const PHASE_NAMES: [&str; N_PHASES] = [
+    "period_release",
+    "dispatch",
+    "bg_poll",
+    "tx_complete",
+    "deliver",
+    "clock_sync",
+    "sample",
+    "node_fail",
+];
+
+/// Everything measured by an instrumented run.
+#[derive(Debug, Clone, Default)]
+pub struct PerfReport {
+    /// Events handled, by kind (indexed as [`PHASE_NAMES`]).
+    pub events: [u64; N_PHASES],
+    /// Wall nanoseconds spent handling each kind.
+    pub ns: [u64; N_PHASES],
+    /// Event-queue operation counters (pops, cancels, compactions, heap
+    /// high-water mark).
+    pub queue: QueueStats,
+    /// Controller invocations (control epochs).
+    pub control_epochs: u64,
+    /// Wall nanoseconds inside the controller (subset of the
+    /// `period_release` phase).
+    pub controller_ns: u64,
+    /// Per-quantum dispatch events elided by the virtual dispatch chain
+    /// (lone jobs run without round-trips through the event heap).
+    pub elided_dispatches: u64,
+    /// Heap allocations observed across all control epochs, if an
+    /// allocation probe was supplied.
+    pub epoch_allocs: Option<u64>,
+    /// Total wall nanoseconds of the run loop.
+    pub wall_ns: u64,
+}
+
+impl PerfReport {
+    /// Total events handled.
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+
+    /// Mean heap allocations per control epoch, if probed.
+    pub fn allocs_per_epoch(&self) -> Option<f64> {
+        let a = self.epoch_allocs?;
+        if self.control_epochs == 0 {
+            return Some(0.0);
+        }
+        Some(a as f64 / self.control_epochs as f64)
+    }
+
+    /// Renders an aligned, human-readable table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total = self.total_events().max(1);
+        let _ = writeln!(
+            out,
+            "perf: {} events in {:.1} ms ({:.0} ns/event)",
+            self.total_events(),
+            self.wall_ns as f64 / 1e6,
+            self.wall_ns as f64 / total as f64,
+        );
+        let _ = writeln!(out, "  {:<16} {:>12} {:>12} {:>10}", "phase", "events", "ms", "ns/event");
+        for (i, name) in PHASE_NAMES.iter().enumerate() {
+            if self.events[i] == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>12} {:>12.2} {:>10.0}",
+                name,
+                self.events[i],
+                self.ns[i] as f64 / 1e6,
+                self.ns[i] as f64 / self.events[i] as f64,
+            );
+        }
+        if self.elided_dispatches > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>12} {:>12} {:>10} (virtual chain, no heap round-trip)",
+                "dispatch-elided", self.elided_dispatches, "-", "-"
+            );
+        }
+        let q = &self.queue;
+        let _ = writeln!(
+            out,
+            "  queue: scheduled={} popped={} cancelled={} compactions={} heap_high_water={}",
+            q.scheduled, q.popped, q.cancelled, q.compactions, q.heap_high_water
+        );
+        let _ = write!(
+            out,
+            "  control: epochs={} controller_ms={:.2}",
+            self.control_epochs,
+            self.controller_ns as f64 / 1e6
+        );
+        if let Some(a) = self.allocs_per_epoch() {
+            let _ = write!(out, " allocs/epoch={a:.1}");
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Live instrumentation state owned by a running cluster.
+pub(crate) struct PerfState {
+    pub report: PerfReport,
+    /// Monotone allocation counter supplied by the embedder, if any.
+    pub alloc_probe: Option<fn() -> u64>,
+    pub run_started: Option<Instant>,
+}
+
+impl PerfState {
+    pub fn new(alloc_probe: Option<fn() -> u64>) -> Self {
+        PerfState {
+            report: PerfReport::default(),
+            alloc_probe,
+            run_started: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_only_active_phases() {
+        let mut r = PerfReport::default();
+        r.events[1] = 10;
+        r.ns[1] = 5_000;
+        r.wall_ns = 10_000;
+        let s = r.render();
+        assert!(s.contains("dispatch"));
+        assert!(!s.contains("bg_poll"), "inactive phase hidden:\n{s}");
+        assert!(s.contains("queue:"));
+    }
+
+    #[test]
+    fn allocs_per_epoch_requires_probe() {
+        let mut r = PerfReport::default();
+        assert_eq!(r.allocs_per_epoch(), None);
+        r.epoch_allocs = Some(120);
+        r.control_epochs = 60;
+        assert_eq!(r.allocs_per_epoch(), Some(2.0));
+        r.control_epochs = 0;
+        assert_eq!(r.allocs_per_epoch(), Some(0.0));
+    }
+
+    #[test]
+    fn total_events_sums_all_phases() {
+        let r = PerfReport {
+            events: [1, 2, 3, 4, 5, 6, 7, 8],
+            ..Default::default()
+        };
+        assert_eq!(r.total_events(), 36);
+    }
+}

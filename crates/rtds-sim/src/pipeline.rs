@@ -8,8 +8,9 @@
 //! holds the static task description, the per-stage cost model, the current
 //! replica placement `PS(st)`, and the in-flight state of period instances.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::hashing::FxHashMap;
 use crate::ids::{NodeId, StageId, SubtaskIdx, TaskId};
 use crate::time::{SimDuration, SimTime};
 
@@ -137,11 +138,21 @@ impl TaskSpec {
 /// Splits `tracks` data items as evenly as possible across `k` replicas
 /// (paper: each replica processes `1/k` of the total data size).
 pub fn split_tracks(tracks: u64, k: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(k);
+    split_tracks_into(tracks, k, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`split_tracks`]: clears `out` and fills it
+/// with the per-replica shares, reusing its capacity. The dispatch hot path
+/// calls this once per stage start with a scratch buffer.
+pub fn split_tracks_into(tracks: u64, k: usize, out: &mut Vec<u64>) {
     assert!(k > 0, "split among zero replicas");
     let k64 = k as u64;
     let base = tracks / k64;
     let rem = (tracks % k64) as usize;
-    (0..k).map(|r| base + u64::from(r < rem)).collect()
+    out.clear();
+    out.extend((0..k).map(|r| base + u64::from(r < rem)));
 }
 
 /// Progress of one stage within one period instance.
@@ -217,8 +228,11 @@ pub struct InstanceState {
     pub released: SimTime,
     /// Data items arriving this period: `ds(T_i, c)`.
     pub tracks: u64,
-    /// Placement frozen at release: replica nodes per stage.
-    pub placement: Vec<Vec<NodeId>>,
+    /// Placement frozen at release: replica nodes per stage. Shared with
+    /// the task runtime's current placement (copy-on-write): releasing an
+    /// instance clones only the `Arc`, and the runtime's copy diverges
+    /// only when the controller actually re-places a stage.
+    pub placement: Arc<Vec<Vec<NodeId>>>,
     /// Per-stage progress.
     pub stages: Vec<StageProgress>,
     /// Completion time of the last stage, once known.
@@ -230,7 +244,12 @@ pub struct InstanceState {
 
 impl InstanceState {
     /// Creates a fresh instance with the given frozen placement.
-    pub fn new(instance: u64, released: SimTime, tracks: u64, placement: Vec<Vec<NodeId>>) -> Self {
+    pub fn new(
+        instance: u64,
+        released: SimTime,
+        tracks: u64,
+        placement: Arc<Vec<Vec<NodeId>>>,
+    ) -> Self {
         let stages = placement.iter().map(|p| StageProgress::new(p.len())).collect();
         InstanceState {
             instance,
@@ -267,9 +286,11 @@ pub struct TaskRuntime {
     pub spec: TaskSpec,
     /// Current replica placement per stage: `PS(st_j)`, ordered with the
     /// original processor first. Changes take effect at the next release.
-    pub placement: Vec<Vec<NodeId>>,
+    /// Held behind an `Arc` so each release shares it with the new
+    /// instance instead of deep-cloning; mutation copies on write.
+    pub placement: Arc<Vec<Vec<NodeId>>>,
     /// In-flight instances by instance number.
-    pub instances: HashMap<u64, InstanceState>,
+    pub instances: FxHashMap<u64, InstanceState>,
     /// Most recent workload (`ds` of the latest released instance).
     pub last_tracks: u64,
 }
@@ -277,11 +298,11 @@ pub struct TaskRuntime {
 impl TaskRuntime {
     /// Creates the runtime with every stage placed singly on its home node.
     pub fn new(spec: TaskSpec) -> Self {
-        let placement = spec.stages.iter().map(|s| vec![s.home]).collect();
+        let placement = Arc::new(spec.stages.iter().map(|s| vec![s.home]).collect());
         TaskRuntime {
             spec,
             placement,
-            instances: HashMap::new(),
+            instances: FxHashMap::default(),
             last_tracks: 0,
         }
     }
@@ -310,16 +331,19 @@ impl TaskRuntime {
         if !spec.replicable && nodes.len() > 1 {
             return Err(format!("stage {stage} ({}) is not replicable", spec.name));
         }
-        let mut seen = std::collections::HashSet::new();
-        for n in &nodes {
+        for (i, n) in nodes.iter().enumerate() {
             if n.index() >= n_cluster_nodes {
                 return Err(format!("stage {stage}: node {n} out of range"));
             }
-            if !seen.insert(*n) {
+            // Replica lists are tiny (a handful of nodes); a quadratic scan
+            // beats allocating a set here.
+            if nodes[..i].contains(n) {
                 return Err(format!("stage {stage}: duplicate node {n}"));
             }
         }
-        self.placement[idx] = nodes;
+        // Copy-on-write: in-flight instances sharing this placement keep
+        // their frozen copy; only the runtime's view advances.
+        Arc::make_mut(&mut self.placement)[idx] = nodes;
         Ok(())
     }
 
@@ -402,6 +426,15 @@ mod tests {
     }
 
     #[test]
+    fn split_tracks_into_overwrites_stale_buffer_contents() {
+        let mut buf = vec![9, 9, 9, 9, 9];
+        split_tracks_into(10, 3, &mut buf);
+        assert_eq!(buf, vec![4, 3, 3]);
+        split_tracks_into(7, 2, &mut buf);
+        assert_eq!(buf, vec![4, 3]);
+    }
+
+    #[test]
     fn validate_catches_bad_specs() {
         let mut s = spec();
         assert!(s.validate(6).is_ok());
@@ -420,7 +453,7 @@ mod tests {
     #[test]
     fn runtime_starts_with_home_placement() {
         let rt = TaskRuntime::new(spec());
-        assert_eq!(rt.placement, vec![vec![NodeId(0)], vec![NodeId(1)]]);
+        assert_eq!(*rt.placement, vec![vec![NodeId(0)], vec![NodeId(1)]]);
         assert_eq!(rt.replica_counts(), vec![1, 1]);
     }
 
@@ -451,12 +484,24 @@ mod tests {
     }
 
     #[test]
+    fn set_placement_is_copy_on_write_for_shared_instances() {
+        let mut rt = TaskRuntime::new(spec());
+        // An in-flight instance shares the runtime's placement Arc.
+        let inst = InstanceState::new(0, SimTime::ZERO, 10, Arc::clone(&rt.placement));
+        rt.set_placement(SubtaskIdx(1), vec![NodeId(1), NodeId(3)], 6)
+            .unwrap();
+        // The instance's frozen view is untouched; the runtime diverged.
+        assert_eq!(inst.placement[1], vec![NodeId(1)]);
+        assert_eq!(rt.placement[1], vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
     fn instance_deadline_accounting() {
         let mut inst = InstanceState::new(
             3,
             SimTime::from_secs(3),
             500,
-            vec![vec![NodeId(0)], vec![NodeId(1)]],
+            Arc::new(vec![vec![NodeId(0)], vec![NodeId(1)]]),
         );
         assert!(!inst.missed(SimDuration::from_millis(990)));
         inst.completed = Some(SimTime::from_secs(3) + SimDuration::from_millis(1000));
@@ -467,7 +512,7 @@ mod tests {
 
     #[test]
     fn shed_instances_always_count_as_missed() {
-        let mut inst = InstanceState::new(0, SimTime::ZERO, 10, vec![vec![NodeId(0)]]);
+        let mut inst = InstanceState::new(0, SimTime::ZERO, 10, Arc::new(vec![vec![NodeId(0)]]));
         inst.shed = true;
         assert!(inst.missed(SimDuration::from_secs(10)));
     }

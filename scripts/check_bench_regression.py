@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare a fresh hotpath bench run against the checked-in baseline.
+
+Usage:
+    cargo bench -p rtds-bench --bench hotpath -- --quick --save-json /tmp/hotpath.json
+    python3 scripts/check_bench_regression.py BENCH_hotpath.json /tmp/hotpath.json
+
+Fails (exit 1) if any benchmark present in both files is more than
+FACTOR (default 2.0) slower than its baseline mean. A generous factor is
+deliberate: CI runners are noisy and the guarded optimizations are all
+well beyond 2x, so anything that trips this is a real regression, not
+jitter. Benchmarks present in only one file are reported but never fatal,
+so adding or retiring a bench does not require touching the baseline in
+the same commit.
+
+Regenerate the baseline (on a quiet machine) with:
+    cargo bench -p rtds-bench --bench hotpath -- --save-json BENCH_hotpath.json
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return {row["name"]: row for row in json.load(f)}
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_path, current_path = argv[1], argv[2]
+    factor = float(argv[3]) if len(argv) > 3 else 2.0
+    baseline = load(baseline_path)
+    current = load(current_path)
+
+    failures = []
+    print(f"{'benchmark':45} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for name in sorted(baseline.keys() | current.keys()):
+        if name not in baseline:
+            print(f"{name:45} {'-':>12} {current[name]['ns_per_iter']:12.0f}   (new)")
+            continue
+        if name not in current:
+            print(f"{name:45} {baseline[name]['ns_per_iter']:12.0f} {'-':>12}   (retired)")
+            continue
+        base_ns = baseline[name]["ns_per_iter"]
+        cur_ns = current[name]["ns_per_iter"]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        flag = "  FAIL" if ratio > factor else ""
+        print(f"{name:45} {base_ns:12.0f} {cur_ns:12.0f} {ratio:6.2f}x{flag}")
+        if ratio > factor:
+            failures.append((name, ratio))
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than {factor}x "
+            "against BENCH_hotpath.json",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nok: no benchmark exceeded {factor}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

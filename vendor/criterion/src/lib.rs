@@ -1,0 +1,393 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! Presents the criterion API surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `BenchmarkId`, `Bencher::iter`) over a simple wall-clock measurement
+//! loop: warm up, then time batches until a measurement budget is spent,
+//! and report the mean with min/max batch means as the spread.
+//!
+//! Command line (after `cargo bench -- ...`):
+//! * a bare word filters benchmarks by substring;
+//! * `--measurement-time <secs>` sets the per-benchmark budget;
+//! * `--quick` uses a 0.1 s budget;
+//! * `--save-json <path>` (or env `RTDS_BENCH_JSON`) writes
+//!   `[{"name": ..., "ns_per_iter": ...}, ...]` on exit;
+//! * other flags are accepted and ignored for cargo compatibility.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full benchmark id (`group/function` or `group/function/param`).
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Fastest batch mean observed.
+    pub min_ns: f64,
+    /// Slowest batch mean observed.
+    pub max_ns: f64,
+}
+
+/// Benchmark driver: configuration plus collected results.
+pub struct Criterion {
+    measurement_time: Duration,
+    filter: Option<String>,
+    json_path: Option<String>,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(
+                std::env::var("RTDS_BENCH_QUICK")
+                    .ok()
+                    .filter(|v| v != "0")
+                    .map(|_| 100)
+                    .unwrap_or(1_000),
+            ),
+            filter: None,
+            json_path: std::env::var("RTDS_BENCH_JSON").ok(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (see crate docs).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--measurement-time" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        c.measurement_time = Duration::from_secs_f64(v.max(0.001));
+                    }
+                }
+                "--quick" => c.measurement_time = Duration::from_millis(100),
+                "--save-json" => c.json_path = args.next(),
+                // Cargo/criterion pass-through flags with a value operand.
+                "--sample-size" | "--warm-up-time" | "--color" | "--output-format" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name.to_string(), f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            sample: None,
+        };
+        f(&mut b);
+        let Some((ns, min, max)) = b.sample else {
+            return;
+        };
+        println!(
+            "{name:<48} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(ns),
+            fmt_ns(max)
+        );
+        self.results.push(Sample {
+            name,
+            ns_per_iter: ns,
+            min_ns: min,
+            max_ns: max,
+        });
+    }
+
+    /// Prints the trailer and writes the JSON report when requested.
+    pub fn final_summary(&mut self) {
+        if let Some(path) = &self.json_path {
+            let mut s = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(",\n");
+                }
+                s.push_str(&format!(
+                    "  {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}",
+                    r.name.replace('"', "'"),
+                    r.ns_per_iter,
+                    r.min_ns,
+                    r.max_ns
+                ));
+            }
+            s.push_str("\n]\n");
+            if let Err(e) = std::fs::write(path, s) {
+                eprintln!("warning: could not write bench JSON to {path}: {e}");
+            } else {
+                println!("bench results written to {path}");
+            }
+        }
+        println!("{} benchmark(s) complete", self.results.len());
+    }
+
+    /// The collected results (for harness-embedding tests).
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the harness sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs `f` as `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_name());
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    /// Runs `f` with a borrowed input as `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_name());
+        self.criterion.run_one(full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Things usable as a benchmark name.
+pub trait IntoBenchmarkName {
+    /// Renders the display name.
+    fn into_benchmark_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_benchmark_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_benchmark_name(self) -> String {
+        self
+    }
+}
+
+/// A `function/parameter` benchmark id.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and parameter display form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from just a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_benchmark_name(self) -> String {
+        self.name
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    budget: Duration,
+    sample: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `f`, spending roughly the configured time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: one untimed call, then grow the batch until it costs
+        // at least ~1/50 of the budget (so timer overhead stays <2%).
+        black_box(f());
+        let budget_ns = self.budget.as_nanos() as f64;
+        let mut batch = 1u64;
+        let mut per_iter;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let spent = t0.elapsed().as_nanos() as f64;
+            per_iter = spent / batch as f64;
+            if spent >= budget_ns / 50.0 || batch >= 1 << 20 {
+                break;
+            }
+            batch = (batch * 4).min(1 << 20);
+        }
+        // Measure: fixed-size batches until the budget is consumed.
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        while total_ns < budget_ns {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let spent = t0.elapsed().as_nanos() as f64;
+            let mean = spent / batch as f64;
+            min = min.min(mean);
+            max = max.max(mean);
+            total_ns += spent;
+            total_iters += batch;
+        }
+        let _ = per_iter;
+        self.sample = Some((total_ns / total_iters as f64, min, max));
+    }
+
+    /// Upstream parity: measurement with a per-iteration setup stage.
+    pub fn iter_with_setup<S, O, FS: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: FS,
+        mut f: F,
+    ) {
+        // Setup cost is included (adequate for the workspace's uses).
+        self.iter(|| f(setup()));
+    }
+}
+
+/// Declares a function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_a_positive_sample() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut s = 0u64;
+                for i in 0..100u64 {
+                    s = s.wrapping_add(black_box(i));
+                }
+                s
+            })
+        });
+        let r = c.results();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].ns_per_iter > 0.0);
+        assert!(r[0].min_ns <= r[0].ns_per_iter && r[0].ns_per_iter <= r[0].max_ns);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            ..Default::default()
+        };
+        c.measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("x", |b| b.iter(|| 1u32 + 1));
+        g.finish();
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn benchmark_ids_compose_names() {
+        assert_eq!(BenchmarkId::new("f", 3).into_benchmark_name(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").into_benchmark_name(), "p");
+    }
+}

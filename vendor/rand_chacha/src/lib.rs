@@ -1,0 +1,212 @@
+//! Offline vendored ChaCha random number generators.
+//!
+//! Implements the ChaCha stream cipher (D. J. Bernstein) as an RNG with
+//! the trait surface of the vendored `rand` crate. The 256-bit seed is the
+//! cipher key; the block counter is 64-bit and starts at zero with a zero
+//! nonce, so a given seed always yields the same stream. Output words are
+//! the keystream words of successive blocks in order, little-endian, and
+//! `next_u64` consumes two consecutive 32-bit words (low word first).
+
+use rand::{RngCore, SeedableRng};
+
+/// "expand 32-byte k": the ChaCha constant words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One keystream block: `rounds` ChaCha rounds plus the feed-forward add.
+fn chacha_block(input: &[u32; 16], rounds: u32, out: &mut [u32; 16]) {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = x[i].wrapping_add(input[i]);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $rounds:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            /// Cipher input block: constants, key, counter, nonce.
+            state: [u32; 16],
+            /// Current keystream block.
+            buf: [u32; 16],
+            /// Next unconsumed word of `buf`; 16 forces a refill.
+            idx: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                chacha_block(&self.state, $rounds, &mut self.buf);
+                // 64-bit block counter in words 12..13.
+                let (lo, carry) = self.state[12].overflowing_add(1);
+                self.state[12] = lo;
+                if carry {
+                    self.state[13] = self.state[13].wrapping_add(1);
+                }
+                self.idx = 0;
+            }
+
+            #[inline]
+            fn next_word(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.idx];
+                self.idx += 1;
+                w
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&SIGMA);
+                for i in 0..8 {
+                    state[4 + i] = u32::from_le_bytes(
+                        seed[4 * i..4 * i + 4].try_into().unwrap(),
+                    );
+                }
+                // Counter and nonce start at zero.
+                $name { state, buf: [0; 16], idx: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                self.next_word()
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_word();
+                let hi = self.next_word();
+                u64::from(lo) | (u64::from(hi) << 32)
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                let mut chunks = dest.chunks_exact_mut(4);
+                for chunk in &mut chunks {
+                    chunk.copy_from_slice(&self.next_word().to_le_bytes());
+                }
+                let rem = chunks.into_remainder();
+                if !rem.is_empty() {
+                    let bytes = self.next_word().to_le_bytes();
+                    let n = rem.len();
+                    rem.copy_from_slice(&bytes[..n]);
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds: the workspace's fast deterministic stream.
+    ChaCha8Rng, 8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng, 12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds (the original cipher strength).
+    ChaCha20Rng, 20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector: ChaCha20 block function.
+    #[test]
+    fn chacha20_block_matches_rfc8439() {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&SIGMA);
+        // Key 00 01 02 ... 1f.
+        let key: Vec<u8> = (0u8..32).collect();
+        for i in 0..8 {
+            input[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        input[12] = 1; // counter
+        input[13] = 0x0900_0000; // nonce
+        input[14] = 0x4a00_0000;
+        input[15] = 0;
+        let mut out = [0u32; 16];
+        chacha_block(&input, 20, &mut out);
+        assert_eq!(
+            out,
+            [
+                0xe4e7f110, 0x15593bd1, 0x1fdd0f50, 0xc47120a3, 0xc7f4d1c7, 0x0368c033,
+                0x9aaa2204, 0x4e6cd4c3, 0x466482d2, 0x09aa9f07, 0x05d7c214, 0xa2028bd9,
+                0xd19c12b5, 0xb94e16de, 0xe883d0cb, 0x4e3c50a2,
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_stream() {
+        let mut a = ChaCha8Rng::from_seed([7; 32]);
+        let mut b = ChaCha8Rng::from_seed([7; 32]);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::from_seed([1; 32]);
+        let mut b = ChaCha8Rng::from_seed([2; 32]);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = ChaCha8Rng::from_seed([9; 32]);
+        let mut b = ChaCha8Rng::from_seed([9; 32]);
+        let mut buf = [0u8; 12];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        assert_eq!(&buf[..4], &w0);
+        assert_eq!(&buf[4..8], &w1);
+        assert_eq!(&buf[8..], &w2);
+    }
+
+    #[test]
+    fn counter_carries_across_block_boundaries() {
+        // Force many refills; stream must not repeat over 4 blocks.
+        let mut r = ChaCha8Rng::from_seed([3; 32]);
+        let words: Vec<u32> = (0..64).map(|_| r.next_u32()).collect();
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(sorted.len() > 60, "keystream words should be distinct");
+    }
+}

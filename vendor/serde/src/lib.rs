@@ -1,0 +1,811 @@
+//! Offline vendored serialization facade.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal `serde`-shaped crate: the `Serialize` / `Deserialize` traits,
+//! derive macros (re-exported from the vendored `serde_derive`), and a
+//! JSON-oriented data model ([`Value`], [`Number`], [`Map`]) that the
+//! vendored `serde_json` crate re-exports.
+//!
+//! Unlike real serde's zero-copy visitor architecture, this facade
+//! round-trips everything through [`Value`] — simple, allocating, and
+//! entirely adequate for the workspace's uses (artifact JSON files and
+//! round-trip tests, none on a simulation hot path). The derive macros
+//! generate the same *shapes* real serde would: structs as objects,
+//! newtype structs transparently, tuple structs as arrays, enums
+//! externally tagged, missing `Option` fields as `None`.
+
+extern crate self as serde;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod json;
+pub use json::{from_str, to_string, to_string_pretty};
+
+/// A JSON number, kept in its original integer class so integers print
+/// without a decimal point and round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point (always finite; non-finite floats serialize as null).
+    F64(f64),
+}
+
+impl Number {
+    /// The value as a float, regardless of class.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+
+    /// The value as a `u64` when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::F64(v) if v >= 0.0 && v <= u64::MAX as f64 && v.fract() == 0.0 => {
+                Some(v as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as an `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::I64(v) => Some(v),
+            Number::F64(v) if (i64::MIN as f64..=i64::MAX as f64).contains(&v) && v.fract() == 0.0 => {
+                Some(v as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            // {:?} is shortest round-trip and keeps a ".0" on integral
+            // floats, matching serde_json's ryu output closely.
+            Number::F64(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// An order-preserving string-keyed map (the object type of [`Value`]).
+///
+/// Backed by a vector so object keys serialize in insertion order, which
+/// for derived structs is declaration order — stable and readable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq + Ord, V> Map<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts `value` at `key`, returning a displaced previous value.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<V> Map<String, V> {
+    /// Looks up a value by key.
+    pub fn get(&self, key: &str) -> Option<&V> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+impl<K: PartialEq + Ord, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a Map<K, V> {
+    type Item = &'a (K, V);
+    type IntoIter = std::slice::Iter<'a, (K, V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// The object contents, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array contents, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a float, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Index a value as an object; missing keys or non-objects yield `Null`.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Index a value as an array; out-of-range or non-arrays yield `Null`.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        match self {
+            Value::Number(n) => n.as_i64() == Some(i64::from(*other)),
+            _ => false,
+        }
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_finite() {
+            Value::Number(Number::F64(v))
+        } else {
+            Value::Null
+        }
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from(f64::from(v))
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(Number::U64(v))
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Number(Number::U64(u64::from(v)))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(Number::U64(v as u64))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Value::Number(Number::U64(v as u64))
+        } else {
+            Value::Number(Number::I64(v))
+        }
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::from(i64::from(v))
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+/// A (de)serialization error: a human-readable message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    /// "expected X, found Y" for a mismatched value shape.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        let kind = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        Error(format!("expected {what}, found {kind}"))
+    }
+
+    /// Unknown enum variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// Missing struct field.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error(format!("missing field `{field}` of {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    /// Converts to the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Converts from the JSON data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Value to use when a struct field of this type is absent.
+    /// `None` means absence is an error; `Option<T>` overrides this to
+    /// produce `None`, matching serde's treatment of optional fields.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Impls for primitives and std containers (the shapes derives produce).
+// ---------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("a boolean", v))
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::expected("an unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::from(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => n.as_i64(),
+                    _ => None,
+                }
+                .ok_or_else(|| Error::expected("an integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            // Non-finite floats serialize as null; accept the round trip.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::expected("a number", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("a string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("a character", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("an array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array().ok_or_else(|| Error::expected("an array", v))?;
+        if a.len() != N {
+            return Err(Error::msg(format!("expected {N} elements, found {}", a.len())));
+        }
+        let items: Vec<T> = a.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array().ok_or_else(|| Error::expected("a 2-tuple", v))?;
+        if a.len() != 2 {
+            return Err(Error::msg(format!("expected 2 elements, found {}", a.len())));
+        }
+        Ok((A::from_value(&a[0])?, B::from_value(&a[1])?))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+/// Key types usable in serialized maps (JSON object keys are strings).
+pub trait JsonKey: Sized + Ord {
+    /// Renders the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_owned())
+    }
+}
+
+macro_rules! int_key {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::msg(format!(
+                    "invalid {} map key `{s}`", stringify!($t))))
+            }
+        }
+    )*};
+}
+int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_key(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+impl<K: JsonKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("an object", v))?;
+        let mut out = BTreeMap::new();
+        for (k, val) in obj.iter() {
+            out.insert(K::from_key(k)?, V::from_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers called by derive-generated code.
+// ---------------------------------------------------------------------
+
+/// Expects an object, for struct/enum deserialization.
+pub fn expect_object<'v>(v: &'v Value, what: &str) -> Result<&'v Map<String, Value>, Error> {
+    v.as_object().ok_or_else(|| Error::expected(what, v))
+}
+
+/// Expects an array of exactly `n` elements, for tuple structs/variants.
+pub fn expect_array<'v>(v: &'v Value, what: &str, n: usize) -> Result<&'v [Value], Error> {
+    let a = v.as_array().ok_or_else(|| Error::expected(what, v))?;
+    if a.len() != n {
+        return Err(Error::msg(format!(
+            "expected {n} elements for {what}, found {}",
+            a.len()
+        )));
+    }
+    Ok(a)
+}
+
+/// Expects a single-entry object, for externally tagged enum variants.
+pub fn expect_single_entry<'v>(
+    m: &'v Map<String, Value>,
+    what: &str,
+) -> Result<(&'v str, &'v Value), Error> {
+    let mut it = m.iter();
+    match (it.next(), it.next()) {
+        (Some((k, v)), None) => Ok((k.as_str(), v)),
+        _ => Err(Error::msg(format!(
+            "expected a single-variant object for {what}"
+        ))),
+    }
+}
+
+/// Reads one struct field, honoring `Deserialize::absent` for missing keys.
+pub fn get_field<T: Deserialize>(
+    m: &Map<String, Value>,
+    field: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match m.get(field) {
+        Some(v) => T::from_value(v),
+        None => T::absent().ok_or_else(|| Error::missing_field(ty, field)),
+    }
+}
+
+/// Upstream-compatible module path: `serde::de::DeserializeOwned` etc.
+pub mod de {
+    pub use super::{Deserialize, Error};
+    /// In this facade every `Deserialize` is already owned.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Upstream-compatible module path for serialization.
+pub mod ser {
+    pub use super::{Error, Serialize};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m: Map = Map::new();
+        m.insert("b".into(), Value::from(1u64));
+        m.insert("a".into(), Value::from(2u64));
+        assert_eq!(m.insert("b".into(), Value::from(3u64)), Some(Value::from(1u64)));
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn option_fields_tolerate_absence() {
+        let m: Map = Map::new();
+        let x: Option<u64> = get_field(&m, "missing", "T").unwrap();
+        assert_eq!(x, None);
+        assert!(get_field::<u64>(&m, "missing", "T").is_err());
+    }
+
+    #[test]
+    fn value_indexing_defaults_to_null() {
+        let v = Value::Object(Map::new());
+        assert!(v["nope"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn numbers_preserve_integer_class() {
+        assert_eq!(Value::from(3u64).to_string_repr(), "3");
+        assert_eq!(Value::from(-3i64).to_string_repr(), "-3");
+        assert_eq!(Value::from(3.0f64).to_string_repr(), "3.0");
+    }
+
+    impl Value {
+        fn to_string_repr(&self) -> String {
+            crate::to_string(self).unwrap()
+        }
+    }
+
+    #[test]
+    fn btreemap_uses_stringified_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(2usize, 7u64);
+        let v = m.to_value();
+        assert_eq!(v["2"], 7u64);
+        let back: BTreeMap<usize, u64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

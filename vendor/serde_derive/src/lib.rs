@@ -1,0 +1,398 @@
+//! Offline vendored `Serialize` / `Deserialize` derive macros.
+//!
+//! Written directly against `proc_macro` (no syn/quote, which are not
+//! available offline). The macros parse just enough of the item — name,
+//! struct fields or enum variants — and emit impls of the facade traits
+//! by building Rust source text and re-parsing it.
+//!
+//! Emitted shapes match real serde's defaults:
+//! * named struct      → JSON object, fields in declaration order
+//! * newtype struct    → the inner value, transparently
+//! * tuple struct      → JSON array
+//! * unit enum variant → `"Variant"`
+//! * data variants     → externally tagged, `{"Variant": ...}`
+//!
+//! Generic items and `#[serde(...)]` attributes are unsupported; the
+//! workspace uses neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a struct body or one enum variant's payload.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    src.parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    src.parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving {name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                None => Fields::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(other) => panic!("serde_derive: unexpected token {other} in struct {name}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde_derive: expected enum body for {name}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ ... }` struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // The type: consume to the next top-level comma. Nested generics
+        // arrive as flat punctuation, so track angle-bracket depth.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    fields
+}
+
+/// Arity of a `( ... )` tuple struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_content_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_content_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_content_since_comma = true;
+    }
+    if !saw_content_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Variant list of an enum body.
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1; // past the comma
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in names {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),\n"
+            )),
+            Fields::Named(names) => {
+                let pat = names.join(", ");
+                let mut inner = String::from("let mut m = ::serde::Map::new();\n");
+                for f in names {
+                    inner.push_str(&format!(
+                        "m.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {pat} }} => {{\n{inner}\
+                     let mut outer = ::serde::Map::new();\n\
+                     outer.insert(::std::string::String::from(\"{v}\"), ::serde::Value::Object(m));\n\
+                     ::serde::Value::Object(outer)\n}}\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let pat = binds.join(", ");
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{v}({pat}) => {{\n\
+                     let mut outer = ::serde::Map::new();\n\
+                     outer.insert(::std::string::String::from(\"{v}\"), {payload});\n\
+                     ::serde::Value::Object(outer)\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::core::result::Result::Ok({name})"),
+        Fields::Named(names) => {
+            let mut s = format!("let m = ::serde::expect_object(v, \"struct {name}\")?;\n");
+            s.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+            for f in names {
+                s.push_str(&format!("{f}: ::serde::get_field(m, \"{f}\", \"{name}\")?,\n"));
+            }
+            s.push_str("})");
+            s
+        }
+        Fields::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Fields::Tuple(n) => {
+            let mut s = format!("let a = ::serde::expect_array(v, \"tuple struct {name}\", {n})?;\n");
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            s.push_str(&format!(
+                "::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            ));
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms.push_str(&format!(
+                "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"
+            )),
+            Fields::Named(names) => {
+                let mut inner = format!(
+                    "let m = ::serde::expect_object(inner, \"variant {name}::{v}\")?;\n"
+                );
+                inner.push_str(&format!("::core::result::Result::Ok({name}::{v} {{\n"));
+                for f in names {
+                    inner.push_str(&format!(
+                        "{f}: ::serde::get_field(m, \"{f}\", \"{name}::{v}\")?,\n"
+                    ));
+                }
+                inner.push_str("})");
+                data_arms.push_str(&format!("\"{v}\" => {{\n{inner}\n}}\n"));
+            }
+            Fields::Tuple(n) => {
+                let body = if *n == 1 {
+                    format!(
+                        "::core::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?))"
+                    )
+                } else {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                        .collect();
+                    format!(
+                        "let a = ::serde::expect_array(inner, \"variant {name}::{v}\", {n})?;\n\
+                         ::core::result::Result::Ok({name}::{v}({}))",
+                        items.join(", ")
+                    )
+                };
+                data_arms.push_str(&format!("\"{v}\" => {{\n{body}\n}}\n"));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         match v {{\n\
+         ::serde::Value::String(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         other => ::core::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+         }},\n\
+         ::serde::Value::Object(m) => {{\n\
+         let (k, inner) = ::serde::expect_single_entry(m, \"enum {name}\")?;\n\
+         match k {{\n\
+         {data_arms}\
+         other => ::core::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+         }}\n\
+         }},\n\
+         other => ::core::result::Result::Err(::serde::Error::expected(\"enum {name}\", other)),\n\
+         }}\n}}\n}}\n"
+    )
+}

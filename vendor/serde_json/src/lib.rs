@@ -1,0 +1,71 @@
+//! Offline vendored `serde_json` front-end.
+//!
+//! The JSON data model and codec live in the vendored `serde` facade (one
+//! shared `Value` type keeps derive codegen and JSON I/O in one place);
+//! this crate re-exports them under the familiar `serde_json` names and
+//! adds the [`json!`] macro.
+//!
+//! Float output uses Rust's shortest-round-trip formatting, so the
+//! `float_roundtrip` feature of the real crate is inherently satisfied;
+//! object keys keep insertion order.
+
+pub use serde::{from_str, to_string, to_string_pretty, Error, Map, Number, Value};
+
+/// Builds a [`Value`] from a literal or any `Into<Value>` expression.
+///
+/// Supports the subset of the real macro the workspace uses: `null`,
+/// scalars, and plain expressions. (Array/object literal syntax is not
+/// needed — build [`Map`]s directly for those.)
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($other:expr) => {
+        $crate::Value::from($other)
+    };
+}
+
+/// Serializes into a generic writer (convenience parity with upstream).
+pub fn to_writer<W: std::io::Write, T: serde::Serialize>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), std::io::Error> {
+    let s = to_string(value).map_err(std::io::Error::other)?;
+    writer.write_all(s.as_bytes())
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a deserializable type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_converts_scalars() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(1.5f64), 1.5f64);
+        assert_eq!(json!("hi"), "hi");
+        assert_eq!(json!(3u64), 3u64);
+        assert_eq!(json!(true), true);
+    }
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let mut m: Map = Map::new();
+        m.insert("k".into(), json!(42.5f64));
+        let v = Value::Object(m);
+        let s = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["k"], 42.5f64);
+    }
+}
