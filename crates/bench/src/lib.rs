@@ -9,7 +9,7 @@
 
 use rtds_arm::predictor::Predictor;
 use rtds_experiments::models::quick_predictor;
-use rtds_experiments::scenario::{PatternSpec, PolicySpec, ScenarioConfig};
+use rtds_experiments::scenario::{FaultPlan, PatternSpec, PolicySpec, ScenarioConfig};
 use rtds_workloads::WorkloadRange;
 
 /// A short but representative evaluation scenario: 40 periods of the
@@ -25,6 +25,7 @@ pub fn bench_scenario(pattern: PatternSpec, policy: PolicySpec) -> ScenarioConfi
         scheduler: rtds_sim::sched::SchedulerKind::paper_baseline(),
         online_refinement: false,
         failures: Vec::new(),
+        faults: FaultPlan::default(),
     }
 }
 

@@ -46,6 +46,9 @@ pub struct ArmConfig {
     /// `d_init`: data size assumed for the initial EQF assignment, tracks.
     pub d_init_tracks: u64,
     /// `u_init`: CPU utilization assumed for the initial assignment, %.
+    /// Also substituted for a freshly-restarted (cold) node whose EWMA has
+    /// not yet seen `Node::COLD_SAMPLES` samples — stale near-zero readings
+    /// would otherwise look like spare capacity.
     pub u_init_pct: f64,
     /// How Fig. 5 picks the next replica host (ablation knob; the paper
     /// uses the least-utilized processor).

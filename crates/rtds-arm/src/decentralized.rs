@@ -28,7 +28,7 @@ use rtds_sim::ids::{NodeId, SubtaskIdx, TaskId};
 use rtds_sim::time::SimDuration;
 
 use crate::config::ArmConfig;
-use crate::eqf::{assign_deadlines, DeadlineAssignment};
+use crate::eqf::{assign_deadlines, try_assign_deadlines, DeadlineAssignment};
 use crate::monitor::{assess_stage, SlackTracker};
 use crate::nonpredictive::shutdown_a_replica;
 use crate::predictive::{replicate_subtask_with, ReplicateFailure, ReplicationRequest};
@@ -83,12 +83,23 @@ impl DecentralizedManager {
             self.cfg.u_init_pct,
             self.cfg.d_init_tracks,
         );
-        let a: DeadlineAssignment = assign_deadlines(
+        let n = self.predictor.n_stages();
+        let a: DeadlineAssignment = try_assign_deadlines(
             &exec,
             &comm,
             ctx.deadlines[self.task.index()],
             self.cfg.eqf,
-        );
+        )
+        .unwrap_or_else(|_| {
+            // Degenerate initial estimates must not crash an agent; fall
+            // back to a uniform split of the end-to-end deadline.
+            assign_deadlines(
+                &vec![1.0; n],
+                &vec![1.0; n.saturating_sub(1)],
+                ctx.deadlines[self.task.index()],
+                self.cfg.eqf,
+            )
+        });
         (0..self.predictor.n_stages())
             .map(|j| a.stage_budget(j))
             .collect()
@@ -105,8 +116,19 @@ impl DecentralizedManager {
         };
         snapshot
             .iter()
-            .zip(&ctx.alive)
-            .map(|(&u, &alive)| if alive { u } else { 1e6 })
+            .enumerate()
+            .map(|(i, &u)| {
+                if !ctx.alive[i] {
+                    1e6
+                } else if ctx.cold[i] {
+                    // A restarted node's estimate is still warming up:
+                    // substitute the prior rather than trusting a near-zero
+                    // reading (stale snapshots are even staler for it).
+                    self.cfg.u_init_pct
+                } else {
+                    u
+                }
+            })
             .collect()
     }
 }

@@ -84,24 +84,85 @@ impl DeadlineAssignment {
 ///
 /// # Panics
 /// Panics if `exec` is empty, `comm.len() + 1 != exec.len()`, any estimate
-/// is negative/non-finite, or the deadline is zero.
+/// is negative/non-finite, or the deadline is zero. Callers that may be
+/// handed degenerate estimates (e.g. after a node crash wipes a task's
+/// observations) should use [`try_assign_deadlines`] and fall back instead.
 pub fn assign_deadlines(
     exec_ms: &[f64],
     comm_ms: &[f64],
     deadline: SimDuration,
     variant: EqfVariant,
 ) -> DeadlineAssignment {
-    assert!(!exec_ms.is_empty(), "no subtasks");
-    assert_eq!(comm_ms.len() + 1, exec_ms.len(), "need one message between each pair");
-    assert!(!deadline.is_zero(), "zero end-to-end deadline");
-    for &e in exec_ms.iter().chain(comm_ms) {
-        assert!(e.is_finite() && e >= 0.0, "estimates must be finite and >= 0");
+    try_assign_deadlines(exec_ms, comm_ms, deadline, variant).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Why a deadline assignment could not be computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EqfError {
+    /// The execution-estimate slice was empty: zero components would make
+    /// every per-component share a division by zero.
+    NoSubtasks,
+    /// `comm.len() + 1 != exec.len()` — the pipeline shape is inconsistent.
+    MessageCountMismatch {
+        /// Number of subtask estimates supplied.
+        subtasks: usize,
+        /// Number of message estimates supplied.
+        messages: usize,
+    },
+    /// The end-to-end deadline was zero.
+    ZeroDeadline,
+    /// An estimate was negative, NaN, or infinite; budgets derived from it
+    /// would be NaN.
+    InvalidEstimate,
+}
+
+impl std::fmt::Display for EqfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EqfError::NoSubtasks => write!(f, "no subtasks"),
+            EqfError::MessageCountMismatch { subtasks, messages } => write!(
+                f,
+                "need one message between each pair of subtasks \
+                 (got {subtasks} subtasks, {messages} messages)"
+            ),
+            EqfError::ZeroDeadline => write!(f, "zero end-to-end deadline"),
+            EqfError::InvalidEstimate => write!(f, "estimates must be finite and >= 0"),
+        }
     }
-    match variant {
+}
+
+impl std::error::Error for EqfError {}
+
+/// Non-panicking form of [`assign_deadlines`]: returns a typed error for
+/// degenerate inputs instead of crashing the control plane. The resource
+/// managers use this on their recovery paths, where a crashed node can
+/// leave a task with no usable estimates.
+pub fn try_assign_deadlines(
+    exec_ms: &[f64],
+    comm_ms: &[f64],
+    deadline: SimDuration,
+    variant: EqfVariant,
+) -> Result<DeadlineAssignment, EqfError> {
+    if exec_ms.is_empty() {
+        return Err(EqfError::NoSubtasks);
+    }
+    if comm_ms.len() + 1 != exec_ms.len() {
+        return Err(EqfError::MessageCountMismatch {
+            subtasks: exec_ms.len(),
+            messages: comm_ms.len(),
+        });
+    }
+    if deadline.is_zero() {
+        return Err(EqfError::ZeroDeadline);
+    }
+    if exec_ms.iter().chain(comm_ms).any(|e| !e.is_finite() || *e < 0.0) {
+        return Err(EqfError::InvalidEstimate);
+    }
+    Ok(match variant {
         EqfVariant::Classic => classic(exec_ms, comm_ms, deadline),
         EqfVariant::PaperLiteral => paper_literal(exec_ms, comm_ms, deadline),
         EqfVariant::EqualSlack => equal_slack(exec_ms, comm_ms, deadline),
-    }
+    })
 }
 
 fn equal_slack(exec_ms: &[f64], comm_ms: &[f64], deadline: SimDuration) -> DeadlineAssignment {
@@ -339,5 +400,42 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn negative_estimates_panic() {
         let _ = assign_deadlines(&[-1.0], &[], ms(100.0), EqfVariant::Classic);
+    }
+
+    #[test]
+    fn try_assign_reports_each_degenerate_input() {
+        let t = |e: &[f64], c: &[f64], d: f64| {
+            try_assign_deadlines(e, c, ms(d), EqfVariant::Classic)
+        };
+        assert_eq!(t(&[], &[], 100.0), Err(EqfError::NoSubtasks));
+        assert_eq!(
+            t(&[1.0, 1.0], &[], 100.0),
+            Err(EqfError::MessageCountMismatch { subtasks: 2, messages: 0 })
+        );
+        assert_eq!(t(&[1.0], &[], 0.0), Err(EqfError::ZeroDeadline));
+        assert_eq!(t(&[f64::NAN], &[], 100.0), Err(EqfError::InvalidEstimate));
+        assert_eq!(t(&[1.0], &[], 100.0).map(|a| a.subtask[0]), Ok(ms(100.0)));
+    }
+
+    #[test]
+    fn try_assign_matches_panicking_form_on_valid_input() {
+        for variant in [EqfVariant::Classic, EqfVariant::PaperLiteral, EqfVariant::EqualSlack] {
+            let e = [10.0, 30.0, 20.0];
+            let c = [5.0, 15.0];
+            assert_eq!(
+                try_assign_deadlines(&e, &c, ms(990.0), variant).unwrap(),
+                assign_deadlines(&e, &c, ms(990.0), variant)
+            );
+        }
+    }
+
+    #[test]
+    fn eqf_error_messages_name_the_problem() {
+        assert_eq!(EqfError::NoSubtasks.to_string(), "no subtasks");
+        assert!(EqfError::MessageCountMismatch { subtasks: 3, messages: 1 }
+            .to_string()
+            .contains("3 subtasks, 1 messages"));
+        assert_eq!(EqfError::ZeroDeadline.to_string(), "zero end-to-end deadline");
+        assert!(EqfError::InvalidEstimate.to_string().contains("finite"));
     }
 }

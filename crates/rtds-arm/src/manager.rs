@@ -21,7 +21,7 @@ use rtds_sim::control::{ControlAction, ControlContext, Controller, PeriodObserva
 use rtds_sim::ids::{NodeId, SubtaskIdx, TaskId};
 
 use crate::config::{ArmConfig, Policy};
-use crate::eqf::{assign_deadlines, DeadlineAssignment};
+use crate::eqf::{assign_deadlines, try_assign_deadlines, DeadlineAssignment};
 use crate::monitor::{assess_stage, SlackTracker, StageHealth};
 use crate::nonpredictive::{replicate_subtask_incremental, replicate_subtask_nonpredictive, shutdown_a_replica};
 use crate::online::OnlineRefiner;
@@ -120,9 +120,18 @@ impl ResourceManager {
             if nodes.is_empty() {
                 return self.cfg.u_init_pct;
             }
+            // A cold (freshly restarted) node's EWMA is dominated by
+            // post-restart zeros; treat its utilization as missing and fall
+            // back to the same prior used before the first observation.
             nodes
                 .iter()
-                .map(|p| ctx.node_util_pct[p.index()])
+                .map(|p| {
+                    if ctx.cold[p.index()] {
+                        self.cfg.u_init_pct
+                    } else {
+                        ctx.node_util_pct[p.index()]
+                    }
+                })
                 .sum::<f64>()
                 / nodes.len() as f64
         };
@@ -142,13 +151,26 @@ impl ResourceManager {
                 self.predictor.ecd(j, share, total).as_millis_f64()
             })
             .collect();
-        self.deadlines = Some(assign_deadlines(
-            &exec,
-            &comm,
-            ctx.deadlines[self.task.index()],
-            self.cfg.eqf,
-        ));
-        self.stats.deadline_reassignments += 1;
+        match try_assign_deadlines(&exec, &comm, ctx.deadlines[self.task.index()], self.cfg.eqf) {
+            Ok(a) => {
+                self.deadlines = Some(a);
+                self.stats.deadline_reassignments += 1;
+            }
+            Err(_) => {
+                // Degenerate estimates (e.g. right after a crash wiped the
+                // task's observations) must not take down the control
+                // plane: keep the previous assignment, or fall back to a
+                // uniform split if none exists yet.
+                if self.deadlines.is_none() {
+                    self.deadlines = Some(assign_deadlines(
+                        &vec![1.0; n],
+                        &vec![1.0; n.saturating_sub(1)],
+                        ctx.deadlines[self.task.index()],
+                        self.cfg.eqf,
+                    ));
+                }
+            }
+        }
     }
 
     /// Step 2 for one candidate subtask: returns its new placement. Dead
@@ -161,11 +183,18 @@ impl ResourceManager {
         obs_tracks: u64,
         ctx: &ControlContext,
     ) -> Vec<NodeId> {
-        let utils: Vec<f64> = ctx
-            .node_util_pct
-            .iter()
-            .zip(&ctx.alive)
-            .map(|(&u, &alive)| if alive { u } else { 1e6 })
+        let utils: Vec<f64> = (0..ctx.n_nodes())
+            .map(|i| {
+                if !ctx.alive[i] {
+                    1e6
+                } else if ctx.cold[i] {
+                    // Restarted node still warming up: its near-zero EWMA
+                    // is a measurement artifact, not spare capacity.
+                    self.cfg.u_init_pct
+                } else {
+                    ctx.node_util_pct[i]
+                }
+            })
             .collect();
         let ps = match self.cfg.policy {
             Policy::Predictive => {
@@ -429,6 +458,7 @@ mod tests {
         ControlContext {
             now: SimTime::from_secs(5),
             alive: vec![true; utils.len()],
+            cold: vec![false; utils.len()],
             node_util_pct: utils,
             replicable: vec![task.stages.iter().map(|s| s.replicable).collect()],
             placements: vec![std::sync::Arc::new(placements)],
@@ -608,6 +638,7 @@ mod tests {
         let c = ControlContext {
             now: SimTime::from_secs(5),
             alive: vec![true],
+            cold: vec![false],
             node_util_pct: vec![60.0],
             replicable: vec![task.stages.iter().map(|s| s.replicable).collect()],
             placements: vec![std::sync::Arc::new((0..5).map(|_| vec![NodeId(0)]).collect())],

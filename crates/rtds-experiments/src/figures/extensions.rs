@@ -32,7 +32,7 @@ use rtds_workloads::{Pattern, Triangular, WorkloadRange};
 use super::{FigureOptions, FigureOutput};
 use crate::models::LINK_BPS;
 use crate::report::{fmt_f, Table};
-use crate::scenario::{run_scenario, PatternSpec, PolicySpec, ScenarioConfig};
+use crate::scenario::{run_scenario, FaultPlan, PatternSpec, PolicySpec, ScenarioConfig};
 
 fn base_scenario(opts: &FigureOptions, policy: PolicySpec, max: u64) -> ScenarioConfig {
     let n = if opts.quick { 40 } else { 160 };
@@ -46,6 +46,7 @@ fn base_scenario(opts: &FigureOptions, policy: PolicySpec, max: u64) -> Scenario
         scheduler: SchedulerKind::paper_baseline(),
         online_refinement: false,
         failures: Vec::new(),
+        faults: FaultPlan::default(),
     }
 }
 

@@ -28,5 +28,7 @@ pub mod scenario;
 pub mod sweep;
 
 pub use figures::{FigureOptions, FigureOutput};
-pub use scenario::{run_scenario, PatternSpec, PolicySpec, ScenarioConfig, ScenarioResult};
+pub use scenario::{
+    run_scenario, CrashFault, FaultPlan, PatternSpec, PolicySpec, ScenarioConfig, ScenarioResult,
+};
 pub use sweep::{run_sweep, SweepConfig, SweepPoint, TRACKS_PER_UNIT};

@@ -16,6 +16,7 @@ use rtds_sim::cluster::{Cluster, ClusterConfig};
 use rtds_sim::ids::{LoadGenId, NodeId};
 use rtds_sim::load::PoissonLoad;
 use rtds_sim::metrics::{RunMetrics, RunSummary};
+use rtds_sim::net::JamWindow;
 use rtds_sim::sched::SchedulerKind;
 use rtds_sim::time::{SimDuration, SimTime};
 use rtds_workloads::{
@@ -153,7 +154,54 @@ pub struct ScenarioConfig {
     /// Enable online Eq. (3) model refinement in the manager (extension).
     pub online_refinement: bool,
     /// Fault plan: `(node index, failure time in whole seconds)` pairs.
+    /// These are legacy *permanent* fail-stop faults; for crash–restart
+    /// and degraded-network faults see [`ScenarioConfig::faults`].
     pub failures: Vec<(u32, u64)>,
+    /// Failure-realism plan: lossy/duplicating bus, retransmission,
+    /// jamming, and crash–restart faults. Defaults to everything off, in
+    /// which case the run is byte-identical to a scenario without the
+    /// field.
+    pub faults: FaultPlan,
+}
+
+/// Declarative failure-realism configuration for a scenario: the knobs of
+/// the degraded-mode experiments. `FaultPlan::default()` disables every
+/// feature and leaves runs byte-identical to the clean baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    /// Per-message corruption probability on the shared bus, `[0, 1]`.
+    pub drop_prob: f64,
+    /// Per-message spurious-duplication probability, `[0, 1]`.
+    pub dup_prob: f64,
+    /// Sender-side retransmit timeout in microseconds; 0 disables
+    /// retransmission (losses are then final).
+    pub retx_timeout_us: u64,
+    /// Optional transient bandwidth-degradation window.
+    pub jam: Option<JamWindow>,
+    /// Crash–restart faults, in schedule order.
+    pub crashes: Vec<CrashFault>,
+}
+
+/// One crash–restart fault in a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct CrashFault {
+    /// Node index to crash.
+    pub node: u32,
+    /// Crash time, whole seconds from the start of the run.
+    pub at_s: u64,
+    /// Restart delay in whole seconds; `None` means the node never comes
+    /// back (but unlike `ScenarioConfig::failures`, the crash still tears
+    /// down its in-flight traffic).
+    pub restart_after_s: Option<u64>,
+}
+
+impl FaultPlan {
+    /// True when any failure-realism feature is enabled.
+    pub fn is_active(&self) -> bool {
+        *self != FaultPlan::default()
+    }
 }
 
 impl ScenarioConfig {
@@ -171,6 +219,7 @@ impl ScenarioConfig {
             scheduler: SchedulerKind::paper_baseline(),
             online_refinement: false,
             failures: Vec::new(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -203,6 +252,10 @@ pub fn run_scenario(cfg: &ScenarioConfig, predictor: &Predictor) -> ScenarioResu
     let mut cluster_cfg = ClusterConfig::paper_baseline(cfg.seed, horizon);
     cluster_cfg.clock = ClockConfig::lan_default();
     cluster_cfg.scheduler = cfg.scheduler;
+    cluster_cfg.bus.drop_prob = cfg.faults.drop_prob;
+    cluster_cfg.bus.dup_prob = cfg.faults.dup_prob;
+    cluster_cfg.bus.retx_timeout_us = cfg.faults.retx_timeout_us;
+    cluster_cfg.bus.jam = cfg.faults.jam;
     let mut cluster = Cluster::new(cluster_cfg);
 
     let task = aaw_task();
@@ -248,6 +301,13 @@ pub fn run_scenario(cfg: &ScenarioConfig, predictor: &Predictor) -> ScenarioResu
 
     for &(node, at_s) in &cfg.failures {
         cluster.fail_node_at(rtds_sim::ids::NodeId(node), SimTime::from_secs(at_s));
+    }
+    for &CrashFault { node, at_s, restart_after_s } in &cfg.faults.crashes {
+        cluster.crash_node_at(
+            rtds_sim::ids::NodeId(node),
+            SimTime::from_secs(at_s),
+            restart_after_s.map(SimDuration::from_secs),
+        );
     }
 
     if crate::perfmon::enabled() {

@@ -12,7 +12,7 @@
 use std::sync::Mutex;
 
 use rtds_arm::predictor::Predictor;
-use crate::scenario::{run_scenario, PatternSpec, PolicySpec, ScenarioConfig};
+use crate::scenario::{run_scenario, FaultPlan, PatternSpec, PolicySpec, ScenarioConfig};
 use rtds_workloads::WorkloadRange;
 
 /// Tracks per scale unit on every figure's x-axis ("1 scale unit = 500
@@ -63,6 +63,9 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Worker threads (1 = sequential).
     pub threads: usize,
+    /// Failure-realism plan applied identically to every point (default:
+    /// everything off — the clean-network headline sweeps).
+    pub faults: FaultPlan,
 }
 
 impl SweepConfig {
@@ -78,6 +81,7 @@ impl SweepConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -141,6 +145,7 @@ fn run_point(
         scheduler: rtds_sim::sched::SchedulerKind::paper_baseline(),
         online_refinement: false,
         failures: Vec::new(),
+        faults: cfg.faults.clone(),
     };
     let started = std::time::Instant::now();
     let r = run_scenario(&scenario, predictor);
@@ -226,6 +231,38 @@ mod tests {
         }
         // The full deterministic serialization must agree byte for byte.
         assert_eq!(deterministic_csv(&seq), deterministic_csv(&par));
+    }
+
+    #[test]
+    fn failure_realism_sweeps_are_deterministic_across_threads_and_seeds() {
+        // The PR-1 determinism property, extended to the failure-realism
+        // layer: lossy + duplicating bus, retransmission, and a
+        // crash–restart fault must still yield byte-identical CSVs
+        // regardless of thread count, for every seed.
+        use crate::scenario::CrashFault;
+        let p = quick_predictor();
+        for seed in [0x5EED_u64, 7] {
+            let mut cfg = SweepConfig::quick(PatternSpec::Triangular { half_period: 10 });
+            cfg.units = vec![4, 24];
+            cfg.n_periods = 20;
+            cfg.seed = seed;
+            cfg.faults = FaultPlan {
+                drop_prob: 0.15,
+                dup_prob: 0.05,
+                retx_timeout_us: 20_000,
+                jam: None,
+                crashes: vec![CrashFault { node: 2, at_s: 6, restart_after_s: Some(5) }],
+            };
+            cfg.threads = 1;
+            let seq = run_sweep(&cfg, &p);
+            cfg.threads = 4;
+            let par = run_sweep(&cfg, &p);
+            assert_eq!(
+                deterministic_csv(&seq),
+                deterministic_csv(&par),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

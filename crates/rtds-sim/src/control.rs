@@ -67,6 +67,11 @@ pub struct ControlContext {
     /// Liveness per node; dead nodes (fault injection) must not receive
     /// replicas.
     pub alive: Vec<bool>,
+    /// Cold-start flag per node: true for a node that recently restarted
+    /// after a crash and whose utilization estimate has not warmed up yet.
+    /// Controllers should treat a cold node's `node_util_pct` entry as
+    /// *missing* (fall back to a prior) rather than as a real zero.
+    pub cold: Vec<bool>,
     /// Current placement (`PS(st)`) per task, per stage. Each task's entry
     /// shares the runtime's placement `Arc` (no per-snapshot deep clone);
     /// `Deref` makes `ctx.placements[t][stage]` read as before.
@@ -164,6 +169,7 @@ mod tests {
         ControlContext {
             now: SimTime::from_secs(1),
             alive: vec![true; utils.len()],
+            cold: vec![false; utils.len()],
             node_util_pct: utils,
             placements: vec![Arc::new(vec![vec![NodeId(0)]])],
             replicable: vec![vec![true]],

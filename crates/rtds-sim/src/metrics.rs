@@ -73,6 +73,19 @@ pub struct RunMetrics {
     pub placement_changes: u64,
     /// Number of controller actions rejected as invalid.
     pub rejected_actions: u64,
+    /// Messages lost for good: delivered to a dead node with no
+    /// retransmission pending, purged when their sender crashed, or
+    /// abandoned after the retransmit budget ran out.
+    pub messages_lost: u64,
+    /// Messages corrupted by the lossy bus (wire time burned, nothing
+    /// delivered). Always 0 unless `BusConfig::drop_prob` is set.
+    pub messages_dropped: u64,
+    /// Spurious duplicates injected by the bus (suppressed at receivers).
+    pub messages_duplicated: u64,
+    /// Sender-side retransmissions performed.
+    pub retransmits: u64,
+    /// Node crash–restart cycles completed.
+    pub node_restarts: u64,
     /// Per-stage latency records, one row per (instance, stage) of every
     /// completed instance.
     pub stage_records: Vec<StageRecord>,

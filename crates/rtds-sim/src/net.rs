@@ -8,6 +8,15 @@
 //! periodic workload because all inter-subtask messages contend for the one
 //! segment — and the time on the wire is the **transmission delay**
 //! `Dtrans = d / ls` (Eq. 6), plus per-frame Ethernet overhead.
+//!
+//! Beyond the paper's idealized lossless segment, the bus can model a
+//! *degraded* medium: per-message drop and duplication probabilities and
+//! transient bandwidth-degradation ("jamming") windows, all configured on
+//! [`BusConfig`] and **off by default** so the headline experiments are
+//! bit-for-bit unchanged. The engine layers sender-side timeout +
+//! retransmit with exponential backoff on top (see `cluster.rs`);
+//! retransmissions are ordinary messages that contend for the medium, so
+//! Eq. (5) buffer delay degrades realistically under loss.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -48,6 +57,11 @@ pub struct Message {
     pub enqueued: SimTime,
     /// When transmission onto the medium began.
     pub tx_start: Option<SimTime>,
+    /// Id of the *original* send this message carries data for. Equal to
+    /// `id` for first transmissions; retransmissions and bus-injected
+    /// duplicates keep the original's id here so receivers can
+    /// de-duplicate.
+    pub origin: MsgId,
 }
 
 impl Message {
@@ -85,7 +99,102 @@ pub struct BusConfig {
     /// cost under contention. 0 (the default) models the idealized
     /// collision-free segment used in the headline experiments.
     pub max_backoff_us: u64,
+    /// Probability that a transmitted message is corrupted and discarded
+    /// after burning its wire time (local deliveries are never dropped).
+    /// 0.0 (the default) disables loss and draws no randomness.
+    pub drop_prob: f64,
+    /// Probability that a transmitted message is delivered twice (a
+    /// spurious duplicate the receiver must suppress). 0.0 (the default)
+    /// disables duplication and draws no randomness.
+    pub dup_prob: f64,
+    /// Sender-side retransmit timeout for `StageData` messages,
+    /// microseconds. 0 (the default) disables retransmission entirely.
+    /// When enabled, an unacknowledged message is resent after
+    /// `retx_timeout_us << attempt` (deterministic exponential backoff).
+    pub retx_timeout_us: u64,
+    /// Maximum number of retransmissions before the sender gives up and
+    /// the message counts as lost. Only meaningful when `retx_timeout_us`
+    /// is non-zero.
+    pub retx_max_retries: u32,
+    /// Optional transient bandwidth-degradation ("jamming") window.
+    /// Transmissions *starting* inside an active window run at
+    /// `bandwidth_factor` of the configured link speed.
+    pub jam: Option<JamWindow>,
 }
+
+fn default_retx_max_retries() -> u32 {
+    3
+}
+
+/// A transient bandwidth-degradation window: between `start_us` and
+/// `start_us + duration_us` (repeating every `repeat_us` if non-zero) the
+/// effective link speed is `bandwidth_factor * bandwidth_bps`, modelling
+/// interference/jamming or a congested backbone stealing capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct JamWindow {
+    /// Window start, microseconds since simulation start.
+    pub start_us: u64,
+    /// Window length, microseconds. Must be positive.
+    pub duration_us: u64,
+    /// Fraction of nominal bandwidth available inside the window, in
+    /// `(0, 1]`.
+    pub bandwidth_factor: f64,
+    /// Repetition period, microseconds; 0 means a one-shot window. When
+    /// non-zero it must be at least `duration_us`.
+    pub repeat_us: u64,
+}
+
+impl JamWindow {
+    /// True when the window degrades the medium at instant `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        let us = t.as_micros();
+        if us < self.start_us {
+            return false;
+        }
+        let off = us - self.start_us;
+        if self.repeat_us > 0 {
+            off % self.repeat_us < self.duration_us
+        } else {
+            off < self.duration_us
+        }
+    }
+}
+
+/// Why a [`BusConfig`] was rejected by [`BusConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BusConfigError {
+    /// `bandwidth_bps` must be finite and strictly positive.
+    InvalidBandwidth(f64),
+    /// `mtu_bytes` must be non-zero.
+    InvalidMtu,
+    /// A probability field must be finite and within `[0, 1]`.
+    InvalidProbability {
+        /// Offending field name.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The jam window is malformed.
+    InvalidJam(&'static str),
+}
+
+impl core::fmt::Display for BusConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BusConfigError::InvalidBandwidth(v) => {
+                write!(f, "bandwidth_bps must be positive and finite (got {v})")
+            }
+            BusConfigError::InvalidMtu => write!(f, "mtu_bytes must be non-zero"),
+            BusConfigError::InvalidProbability { field, value } => {
+                write!(f, "{field} must be a probability in [0, 1] (got {value})")
+            }
+            BusConfigError::InvalidJam(why) => write!(f, "invalid jam window: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BusConfigError {}
 
 impl BusConfig {
     /// The paper's Table 1 segment: 100 Mbps Ethernet.
@@ -98,7 +207,45 @@ impl BusConfig {
             propagation: SimDuration::from_micros(20),
             local_delivery: SimDuration::from_micros(50),
             max_backoff_us: 0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            retx_timeout_us: 0,
+            retx_max_retries: default_retx_max_retries(),
+            jam: None,
         }
+    }
+
+    /// Checks the configuration for values that would blow up deep inside
+    /// the simulation (`wire_time` divides by `bandwidth_bps`, framing
+    /// divides by `mtu_bytes`). Call sites that construct a bus should
+    /// surface the error at the config site instead.
+    pub fn validate(&self) -> Result<(), BusConfigError> {
+        if !self.bandwidth_bps.is_finite() || self.bandwidth_bps <= 0.0 {
+            return Err(BusConfigError::InvalidBandwidth(self.bandwidth_bps));
+        }
+        if self.mtu_bytes == 0 {
+            return Err(BusConfigError::InvalidMtu);
+        }
+        for (field, value) in [("drop_prob", self.drop_prob), ("dup_prob", self.dup_prob)] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(BusConfigError::InvalidProbability { field, value });
+            }
+        }
+        if let Some(jam) = self.jam {
+            if jam.duration_us == 0 {
+                return Err(BusConfigError::InvalidJam("duration_us must be non-zero"));
+            }
+            if !jam.bandwidth_factor.is_finite()
+                || jam.bandwidth_factor <= 0.0
+                || jam.bandwidth_factor > 1.0
+            {
+                return Err(BusConfigError::InvalidJam("bandwidth_factor must be in (0, 1]"));
+            }
+            if jam.repeat_us > 0 && jam.repeat_us < jam.duration_us {
+                return Err(BusConfigError::InvalidJam("repeat_us must be >= duration_us"));
+            }
+        }
+        Ok(())
     }
 
     /// Wire time for a message of `size_bytes` application bytes, including
@@ -109,6 +256,25 @@ impl BusConfig {
         let frames = total.div_ceil(self.mtu_bytes).max(1);
         let on_wire_bytes = total + frames * self.frame_overhead_bytes;
         SimDuration::from_secs_f64((on_wire_bytes as f64) * 8.0 / self.bandwidth_bps)
+    }
+
+    /// Wire time for a transmission *starting* at `at`: like
+    /// [`Self::wire_time`], stretched by the jam window's bandwidth factor
+    /// when `at` falls inside an active window. A transmission keeps the
+    /// rate it started with even if the window opens or closes mid-frame —
+    /// a deliberate simplification.
+    pub fn wire_time_at(&self, size_bytes: u64, at: SimTime) -> SimDuration {
+        let base = self.wire_time(size_bytes);
+        match self.jam {
+            Some(jam) if jam.active_at(at) => base.mul_f64(1.0 / jam.bandwidth_factor),
+            _ => base,
+        }
+    }
+
+    /// True when any failure-realism feature (loss, duplication,
+    /// retransmission, jamming) is enabled.
+    pub fn has_failure_realism(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0 || self.retx_timeout_us > 0 || self.jam.is_some()
     }
 }
 
@@ -157,9 +323,29 @@ pub enum SendOutcome {
     },
 }
 
+/// Traffic torn down by [`SharedBus::abort_from`] when a node crashes.
+#[derive(Debug, Default)]
+pub struct AbortedTraffic {
+    /// Queued messages from the crashed node, removed before transmission.
+    pub purged: Vec<Message>,
+    /// The message that was on the wire, if the crashed node was sending.
+    pub in_flight: Option<Message>,
+    /// If the wire was freed and another message was waiting, its id and
+    /// completion time (the engine schedules the next `TxComplete`).
+    pub next: Option<(MsgId, SimTime)>,
+}
+
 impl SharedBus {
     /// Creates an idle bus.
+    ///
+    /// # Panics
+    /// Panics with a clear message if the configuration is invalid (see
+    /// [`BusConfig::validate`]); catching bad configs here keeps the error
+    /// at the config site instead of deep inside `wire_time`.
     pub fn new(config: BusConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid bus config: {e}");
+        }
         SharedBus {
             config,
             queue: VecDeque::new(),
@@ -193,6 +379,34 @@ impl SharedBus {
         size_bytes: u64,
         payload: MsgPayload,
     ) -> SendOutcome {
+        self.send_inner(now, src, dst, size_bytes, payload, None)
+    }
+
+    /// Accepts a *retransmission* of an earlier message: identical to
+    /// [`Self::send`] (the copy contends for the medium like any other
+    /// traffic) but stamped with the original's id so the receiver can
+    /// suppress duplicates.
+    pub fn resend(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u64,
+        payload: MsgPayload,
+        origin: MsgId,
+    ) -> SendOutcome {
+        self.send_inner(now, src, dst, size_bytes, payload, Some(origin))
+    }
+
+    fn send_inner(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u64,
+        payload: MsgPayload,
+        origin: Option<MsgId>,
+    ) -> SendOutcome {
         let id = self.alloc_id();
         self.bytes_offered += size_bytes;
         self.messages_offered += 1;
@@ -204,6 +418,7 @@ impl SharedBus {
             payload,
             enqueued: now,
             tx_start: None,
+            origin: origin.unwrap_or(id),
         };
         if src == dst {
             msg.tx_start = Some(now);
@@ -214,7 +429,7 @@ impl SharedBus {
             };
         }
         if self.transmitting.is_none() {
-            let done = now + self.config.wire_time(size_bytes);
+            let done = now + self.config.wire_time_at(size_bytes, now);
             msg.tx_start = Some(now);
             self.messages.insert(id, msg);
             self.transmitting = Some((id, done));
@@ -227,6 +442,12 @@ impl SharedBus {
         }
     }
 
+    /// Allocates a fresh message id for an engine-injected copy (a bus
+    /// duplicate delivered alongside the original).
+    pub fn alloc_copy_id(&mut self) -> MsgId {
+        self.alloc_id()
+    }
+
     /// Completes the in-flight transmission at `now`. Returns the finished
     /// message plus, if another message was waiting, its id and completion
     /// time (the engine schedules the next `TxComplete`). `backoff` is the
@@ -234,27 +455,77 @@ impl SharedBus {
     /// `max_backoff_us` is 0); the medium counts as busy during it, like a
     /// real 802.3 contention interval.
     ///
-    /// # Panics
-    /// Panics if nothing is transmitting or the completion time disagrees.
+    /// Returns `None` for a *stale* completion — the bus is idle, or the
+    /// recorded completion time disagrees with `now`. Stale `TxComplete`
+    /// events are left behind when a crash aborts the in-flight message
+    /// and must be ignored, not paniced on.
     pub fn tx_complete(
         &mut self,
         now: SimTime,
         backoff: SimDuration,
-    ) -> (Message, Option<(MsgId, SimTime)>) {
-        let (id, done) = self.transmitting.take().expect("tx_complete with idle bus");
-        assert_eq!(done, now, "tx_complete at wrong time");
+    ) -> Option<(Message, Option<(MsgId, SimTime)>)> {
+        match self.transmitting {
+            Some((_, done)) if done == now => {}
+            // Idle bus or a different in-flight message: a completion for
+            // traffic that was aborted. Ignore it.
+            _ => return None,
+        }
+        let (id, _) = self.transmitting.take().expect("checked above");
         let msg = self.messages.remove(&id).expect("transmitting message exists");
         let next = self.queue.pop_front().map(|next_id| {
+            let start = now + backoff;
             let next_msg = self.messages.get_mut(&next_id).expect("queued message exists");
-            next_msg.tx_start = Some(now + backoff);
-            let done = now + backoff + self.config.wire_time(next_msg.size_bytes);
+            next_msg.tx_start = Some(start);
+            let done = start + self.config.wire_time_at(next_msg.size_bytes, start);
             self.transmitting = Some((next_id, done));
             (next_id, done)
         });
         if next.is_none() {
             self.end_busy(now);
         }
-        (msg, next)
+        Some((msg, next))
+    }
+
+    /// Tears down all traffic *from* a crashed node at `now`: queued
+    /// messages are purged, and if the node was mid-transmission the wire
+    /// is freed (that frame never completes). If freeing the wire lets a
+    /// queued message start, `backoff` is applied ahead of it exactly as
+    /// in [`Self::tx_complete`] and the new completion is reported in
+    /// [`AbortedTraffic::next`]. The stale `TxComplete` of the aborted
+    /// message stays in the engine's event queue and is later ignored.
+    ///
+    /// Messages *to* the crashed node are left alone — the sender has no
+    /// way to know the destination died; they transmit and are accounted
+    /// lost on delivery.
+    pub fn abort_from(&mut self, now: SimTime, node: NodeId, backoff: SimDuration) -> AbortedTraffic {
+        let mut out = AbortedTraffic::default();
+        self.queue.retain(|id| {
+            let keep = self.messages[id].src != node;
+            if !keep {
+                out.purged.push(self.messages.remove(id).expect("queued message exists"));
+            }
+            keep
+        });
+        let aborting = matches!(
+            self.transmitting,
+            Some((id, _)) if self.messages[&id].src == node
+        );
+        if aborting {
+            let (id, _) = self.transmitting.take().expect("checked above");
+            out.in_flight = Some(self.messages.remove(&id).expect("transmitting message exists"));
+            out.next = self.queue.pop_front().map(|next_id| {
+                let start = now + backoff;
+                let next_msg = self.messages.get_mut(&next_id).expect("queued message exists");
+                next_msg.tx_start = Some(start);
+                let done = start + self.config.wire_time_at(next_msg.size_bytes, start);
+                self.transmitting = Some((next_id, done));
+                (next_id, done)
+            });
+            if out.next.is_none() {
+                self.end_busy(now);
+            }
+        }
+        out
     }
 
     /// Removes and returns a locally-delivered message.
@@ -275,6 +546,11 @@ impl SharedBus {
     /// True if a message is currently on the wire.
     pub fn is_transmitting(&self) -> bool {
         self.transmitting.is_some()
+    }
+
+    /// Source node of the message currently on the wire, if any.
+    pub fn transmitting_src(&self) -> Option<NodeId> {
+        self.transmitting.map(|(id, _)| self.messages[&id].src)
     }
 
     fn begin_busy(&mut self, now: SimTime) {
@@ -375,7 +651,7 @@ mod tests {
         assert!(matches!(second, SendOutcome::Queued { .. }));
         assert_eq!(b.queue_len(), 1);
 
-        let (done_msg, next) = b.tx_complete(tx_done, SimDuration::ZERO);
+        let (done_msg, next) = b.tx_complete(tx_done, SimDuration::ZERO).expect("live completion");
         assert_eq!(done_msg.src, NodeId(0));
         let (next_id, next_done) = next.expect("queued message starts");
         assert!(next_done > tx_done);
@@ -411,7 +687,7 @@ mod tests {
         else {
             panic!()
         };
-        b.tx_complete(tx_done, SimDuration::ZERO);
+        b.tx_complete(tx_done, SimDuration::ZERO).expect("live completion");
         // ~10ms busy (1 Mbit at 100 Mbps plus overhead).
         let u = b.lifetime_utilization(SimTime::from_millis(100));
         assert!(u > 0.09 && u < 0.12, "utilization {u}");
@@ -431,11 +707,11 @@ mod tests {
         }
         let mut srcs = Vec::new();
         let mut t = tx_done;
-        let (first, mut next) = b.tx_complete(t, SimDuration::ZERO);
+        let (first, mut next) = b.tx_complete(t, SimDuration::ZERO).expect("live completion");
         srcs.push(first.src.0);
         while let Some((_, done)) = next {
             t = done;
-            let (m, n) = b.tx_complete(t, SimDuration::ZERO);
+            let (m, n) = b.tx_complete(t, SimDuration::ZERO).expect("live completion");
             srcs.push(m.src.0);
             next = n;
         }
@@ -444,9 +720,169 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "idle bus")]
-    fn tx_complete_on_idle_bus_panics() {
-        bus().tx_complete(SimTime::ZERO, SimDuration::ZERO);
+    fn tx_complete_on_idle_bus_is_ignored() {
+        // A completion with nothing on the wire is a stale event left by a
+        // crash abort — it must be a no-op, not a panic.
+        assert!(bus().tx_complete(SimTime::ZERO, SimDuration::ZERO).is_none());
+    }
+
+    #[test]
+    fn stale_tx_complete_after_abort_is_ignored() {
+        let mut b = bus();
+        let SendOutcome::Transmitting { tx_done, .. } =
+            b.send(SimTime::ZERO, NodeId(0), NodeId(1), 8000, payload())
+        else {
+            panic!()
+        };
+        // Node 0 crashes mid-flight; its frame never completes.
+        let aborted = b.abort_from(SimTime::from_micros(10), NodeId(0), SimDuration::ZERO);
+        assert!(aborted.in_flight.is_some());
+        assert!(!b.is_transmitting());
+        // The TxComplete the engine scheduled for the aborted frame fires
+        // anyway and must be ignored.
+        assert!(b.tx_complete(tx_done, SimDuration::ZERO).is_none());
+    }
+
+    #[test]
+    fn abort_purges_queued_messages_and_starts_next() {
+        let mut b = bus();
+        let SendOutcome::Transmitting { .. } =
+            b.send(SimTime::ZERO, NodeId(0), NodeId(1), 8000, payload())
+        else {
+            panic!()
+        };
+        b.send(SimTime::ZERO, NodeId(0), NodeId(2), 1000, payload()); // queued, same src
+        b.send(SimTime::ZERO, NodeId(3), NodeId(4), 1000, payload()); // queued, other src
+        let t = SimTime::from_micros(100);
+        let aborted = b.abort_from(t, NodeId(0), SimDuration::ZERO);
+        assert_eq!(aborted.purged.len(), 1, "node 0's queued message purged");
+        assert_eq!(aborted.purged[0].dst, NodeId(2));
+        assert!(aborted.in_flight.is_some(), "in-flight frame torn down");
+        // The survivor (node 3's message) takes the wire immediately.
+        let (next_id, next_done) = aborted.next.expect("survivor starts");
+        assert_eq!(next_done, t + BusConfig::paper_baseline().wire_time(1000));
+        assert!(b.is_transmitting());
+        assert_eq!(b.transmitting_src(), Some(NodeId(3)));
+        let (m, next) = b.tx_complete(next_done, SimDuration::ZERO).expect("live completion");
+        assert_eq!(m.id, next_id);
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn abort_from_uninvolved_node_changes_nothing() {
+        let mut b = bus();
+        let SendOutcome::Transmitting { tx_done, .. } =
+            b.send(SimTime::ZERO, NodeId(0), NodeId(1), 8000, payload())
+        else {
+            panic!()
+        };
+        let aborted = b.abort_from(SimTime::from_micros(1), NodeId(5), SimDuration::ZERO);
+        assert!(aborted.purged.is_empty() && aborted.in_flight.is_none() && aborted.next.is_none());
+        assert!(b.tx_complete(tx_done, SimDuration::ZERO).is_some());
+    }
+
+    #[test]
+    fn validate_rejects_bad_bandwidth() {
+        let mut cfg = BusConfig::paper_baseline();
+        cfg.bandwidth_bps = 0.0;
+        assert_eq!(cfg.validate(), Err(BusConfigError::InvalidBandwidth(0.0)));
+        cfg.bandwidth_bps = -5.0;
+        assert!(cfg.validate().is_err());
+        cfg.bandwidth_bps = f64::NAN;
+        assert!(cfg.validate().is_err());
+        cfg.bandwidth_bps = f64::INFINITY;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth_bps must be positive and finite")]
+    fn bus_construction_rejects_bad_bandwidth_with_clear_error() {
+        let mut cfg = BusConfig::paper_baseline();
+        cfg.bandwidth_bps = 0.0;
+        let _ = SharedBus::new(cfg);
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities_and_jam() {
+        let mut cfg = BusConfig::paper_baseline();
+        cfg.drop_prob = 1.5;
+        assert!(matches!(
+            cfg.validate(),
+            Err(BusConfigError::InvalidProbability { field: "drop_prob", .. })
+        ));
+        cfg.drop_prob = 0.0;
+        cfg.dup_prob = f64::NAN;
+        assert!(cfg.validate().is_err());
+        cfg.dup_prob = 0.0;
+        cfg.mtu_bytes = 0;
+        assert_eq!(cfg.validate(), Err(BusConfigError::InvalidMtu));
+        cfg.mtu_bytes = 1500;
+        cfg.jam = Some(JamWindow {
+            start_us: 0,
+            duration_us: 0,
+            bandwidth_factor: 0.5,
+            repeat_us: 0,
+        });
+        assert!(cfg.validate().is_err());
+        cfg.jam = Some(JamWindow {
+            start_us: 0,
+            duration_us: 100,
+            bandwidth_factor: 2.0,
+            repeat_us: 0,
+        });
+        assert!(cfg.validate().is_err());
+        cfg.jam = Some(JamWindow {
+            start_us: 0,
+            duration_us: 100,
+            bandwidth_factor: 0.5,
+            repeat_us: 50,
+        });
+        assert!(cfg.validate().is_err());
+        cfg.jam = Some(JamWindow {
+            start_us: 0,
+            duration_us: 100,
+            bandwidth_factor: 0.5,
+            repeat_us: 1000,
+        });
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn jam_window_stretches_wire_time_inside_the_window() {
+        let mut cfg = BusConfig::paper_baseline();
+        cfg.jam = Some(JamWindow {
+            start_us: 1000,
+            duration_us: 500,
+            bandwidth_factor: 0.25,
+            repeat_us: 2000,
+        });
+        let base = cfg.wire_time(8000);
+        // Before the window, and in the gap of the repeat cycle: nominal.
+        assert_eq!(cfg.wire_time_at(8000, SimTime::from_micros(0)), base);
+        assert_eq!(cfg.wire_time_at(8000, SimTime::from_micros(1700)), base);
+        // Inside the first and second windows: 4x slower.
+        assert_eq!(cfg.wire_time_at(8000, SimTime::from_micros(1200)), base.mul_f64(4.0));
+        assert_eq!(cfg.wire_time_at(8000, SimTime::from_micros(3100)), base.mul_f64(4.0));
+    }
+
+    #[test]
+    fn resend_carries_the_original_id() {
+        let mut b = bus();
+        let SendOutcome::Transmitting { msg: orig, tx_done } =
+            b.send(SimTime::ZERO, NodeId(0), NodeId(1), 1000, payload())
+        else {
+            panic!()
+        };
+        let (m, _) = b.tx_complete(tx_done, SimDuration::ZERO).expect("live completion");
+        assert_eq!(m.origin, orig, "first transmission is its own origin");
+        let SendOutcome::Transmitting { msg: copy, tx_done } =
+            b.resend(tx_done, NodeId(0), NodeId(1), 1000, payload(), orig)
+        else {
+            panic!()
+        };
+        assert_ne!(copy, orig, "retransmission gets a fresh message id");
+        let (m, _) = b.tx_complete(tx_done, SimDuration::ZERO).expect("live completion");
+        assert_eq!(m.origin, orig, "but keeps the original as its origin");
     }
 
     #[test]
@@ -459,7 +895,7 @@ mod tests {
         };
         b.send(SimTime::ZERO, NodeId(2), NodeId(3), 1000, payload());
         let backoff = SimDuration::from_micros(40);
-        let (_, next) = b.tx_complete(tx_done, backoff);
+        let (_, next) = b.tx_complete(tx_done, backoff).expect("live completion");
         let (_, next_done) = next.expect("queued message starts");
         let cfg = BusConfig::paper_baseline();
         assert_eq!(next_done, tx_done + backoff + cfg.wire_time(1000));

@@ -47,6 +47,9 @@ pub struct Node {
     sampled_busy: SimDuration,
     /// Time of the previous utilization sample.
     sampled_at: SimTime,
+    /// Samples still to take before a restarted node's EWMA counts as
+    /// warmed up again; 0 for a node that never crashed.
+    warmup_left: u32,
 }
 
 impl Node {
@@ -55,6 +58,12 @@ impl Node {
     /// paper's per-period workload changes, slow enough to damp quantum
     /// granularity noise.
     pub const EWMA_ALPHA: f64 = 0.4;
+
+    /// How many utilization samples a restarted node needs before its EWMA
+    /// is trusted again. Matches the ~3-sample horizon [`Self::EWMA_ALPHA`]
+    /// was tuned for: until then the estimate is dominated by the cold
+    /// post-restart zeros, not by real load.
+    pub const COLD_SAMPLES: u32 = 3;
 
     /// Creates an idle node with the given scheduling policy.
     pub fn new(id: NodeId, sched: Box<dyn CpuScheduler>) -> Self {
@@ -68,7 +77,33 @@ impl Node {
             util_ewma: 0.0,
             sampled_busy: SimDuration::ZERO,
             sampled_at: SimTime::ZERO,
+            warmup_left: 0,
         }
+    }
+
+    /// Brings a crashed node back online at `now` with cold caches and
+    /// empty queues: no running job, nothing in the ready queue, and the
+    /// utilization estimate reset. Busy-time *totals* are kept — they feed
+    /// the run-level average CPU metric, which spans the whole mission.
+    /// Until [`Self::COLD_SAMPLES`] fresh samples arrive the node reports
+    /// [`Self::is_cold`] so controllers treat its utilization as missing
+    /// rather than zero.
+    pub fn restart(&mut self, now: SimTime) {
+        debug_assert!(!self.alive, "restarting a node that is alive");
+        self.alive = true;
+        self.running = None;
+        while self.sched.pick().is_some() {}
+        self.busy_since = None;
+        self.util_ewma = 0.0;
+        self.sampled_busy = self.busy_accum;
+        self.sampled_at = now;
+        self.warmup_left = Self::COLD_SAMPLES;
+    }
+
+    /// True while a restarted node's utilization estimate is still warming
+    /// up and should be treated as missing.
+    pub fn is_cold(&self) -> bool {
+        self.warmup_left > 0
     }
 
     /// Marks the CPU busy starting at `now` (idempotent).
@@ -115,6 +150,7 @@ impl Node {
         self.util_ewma = Self::EWMA_ALPHA * raw + (1.0 - Self::EWMA_ALPHA) * self.util_ewma;
         self.sampled_busy = busy;
         self.sampled_at = now;
+        self.warmup_left = self.warmup_left.saturating_sub(1);
         raw
     }
 
@@ -211,5 +247,29 @@ mod tests {
     fn observed_utilization_is_percent_clamped() {
         let n = node();
         assert_eq!(n.observed_utilization_pct(), 0.0);
+    }
+
+    #[test]
+    fn restart_resets_estimate_and_marks_cold() {
+        let mut n = node();
+        assert!(!n.is_cold(), "fresh nodes are not cold");
+        // Build up a warm estimate, then crash.
+        n.begin_busy(SimTime::ZERO);
+        n.end_busy(SimTime::from_millis(80));
+        n.sample_utilization(SimTime::from_millis(100));
+        assert!(n.observed_utilization_pct() > 0.0);
+        n.alive = false;
+        n.restart(SimTime::from_millis(200));
+        assert!(n.alive);
+        assert!(n.is_cold());
+        assert_eq!(n.observed_utilization_pct(), 0.0, "estimate resets on restart");
+        // Busy totals survive the restart (they feed the run-level metric).
+        assert_eq!(n.busy_total(SimTime::from_millis(200)), SimDuration::from_millis(80));
+        // Cold clears after COLD_SAMPLES fresh samples.
+        for i in 1..=Node::COLD_SAMPLES as u64 {
+            assert!(n.is_cold());
+            n.sample_utilization(SimTime::from_millis(200 + i * 100));
+        }
+        assert!(!n.is_cold());
     }
 }

@@ -19,7 +19,7 @@ use std::time::Instant;
 use crate::event::QueueStats;
 
 /// Number of distinct event kinds the engine dispatches on.
-pub const N_PHASES: usize = 8;
+pub const N_PHASES: usize = 11;
 
 /// Labels for the per-kind breakdown, in engine dispatch order.
 pub const PHASE_NAMES: [&str; N_PHASES] = [
@@ -31,6 +31,9 @@ pub const PHASE_NAMES: [&str; N_PHASES] = [
     "clock_sync",
     "sample",
     "node_fail",
+    "node_crash",
+    "node_restart",
+    "retx_timeout",
 ];
 
 /// Everything measured by an instrumented run.
@@ -174,9 +177,9 @@ mod tests {
     #[test]
     fn total_events_sums_all_phases() {
         let r = PerfReport {
-            events: [1, 2, 3, 4, 5, 6, 7, 8],
+            events: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
             ..Default::default()
         };
-        assert_eq!(r.total_events(), 36);
+        assert_eq!(r.total_events(), 66);
     }
 }

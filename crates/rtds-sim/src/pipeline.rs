@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use crate::hashing::FxHashMap;
-use crate::ids::{NodeId, StageId, SubtaskIdx, TaskId};
+use crate::ids::{MsgId, NodeId, StageId, SubtaskIdx, TaskId};
 use crate::time::{SimDuration, SimTime};
 
 /// Intrinsic CPU demand of one stage as a polynomial in the data size.
@@ -184,6 +184,11 @@ pub struct StageProgress {
     pub exec_latency: Vec<Option<SimDuration>>,
     /// Replicas whose CPU job has completed.
     pub done_replicas: u32,
+    /// Per-replica origin ids of messages already counted, for suppressing
+    /// spurious duplicates and late retransmissions on a lossy bus. Left
+    /// empty (never pushed to) when the cluster runs without failure
+    /// realism, so clean runs pay nothing.
+    pub seen_origins: Vec<Vec<MsgId>>,
 }
 
 impl StageProgress {
@@ -197,6 +202,7 @@ impl StageProgress {
             msg_delay: vec![None; replicas],
             exec_latency: vec![None; replicas],
             done_replicas: 0,
+            seen_origins: vec![Vec::new(); replicas],
         }
     }
 

@@ -7,7 +7,7 @@
 //! the `aaw_mission` example renders one. Disabled by default — a
 //! [`TraceSink`] is opt-in and bounded.
 
-use crate::ids::{NodeId, StageId};
+use crate::ids::{MsgId, NodeId, StageId};
 use crate::time::{SimDuration, SimTime};
 
 /// One traced state change.
@@ -63,6 +63,37 @@ pub enum TraceEvent {
     NodeFailed {
         /// The failed node.
         node: NodeId,
+    },
+    /// A crashed node came back online (cold caches, empty queues).
+    NodeRestarted {
+        /// The restarted node.
+        node: NodeId,
+    },
+    /// A message was lost for good: delivered to a dead node with no
+    /// retransmission pending, purged when its sender crashed, or
+    /// abandoned after the retransmit budget ran out.
+    MessageLost {
+        /// Id of the original send.
+        msg: MsgId,
+        /// Intended destination.
+        dst: NodeId,
+    },
+    /// The lossy bus corrupted a message after it burned its wire time.
+    MessageDropped {
+        /// Id of the original send.
+        msg: MsgId,
+    },
+    /// The bus delivered a spurious duplicate of a message.
+    MessageDuplicated {
+        /// Id of the original send.
+        msg: MsgId,
+    },
+    /// A sender timed out waiting for delivery and retransmitted.
+    Retransmit {
+        /// Id of the original send.
+        msg: MsgId,
+        /// Retransmission attempt number (1-based).
+        attempt: u32,
     },
 }
 
@@ -145,6 +176,15 @@ impl TraceSink {
 
                     writeln!(out, "{t} placement {stage} -> {nodes:?}"),
                 TraceEvent::NodeFailed { node } => writeln!(out, "{t} FAILURE   {node}"),
+                TraceEvent::NodeRestarted { node } => writeln!(out, "{t} RESTART   {node}"),
+                TraceEvent::MessageLost { msg, dst } => {
+                    writeln!(out, "{t} MSG-LOST  {msg} -> {dst}")
+                }
+                TraceEvent::MessageDropped { msg } => writeln!(out, "{t} MSG-DROP  {msg}"),
+                TraceEvent::MessageDuplicated { msg } => writeln!(out, "{t} MSG-DUP   {msg}"),
+                TraceEvent::Retransmit { msg, attempt } => {
+                    writeln!(out, "{t} RETX      {msg} attempt={attempt}")
+                }
             };
         }
         if self.dropped > 0 {
@@ -227,5 +267,19 @@ mod tests {
     #[should_panic(expected = "zero-capacity")]
     fn zero_capacity_rejected() {
         let _ = TraceSink::bounded(0);
+    }
+
+    #[test]
+    fn failure_realism_events_render_distinctly() {
+        let mut s = TraceSink::bounded(8);
+        s.record(SimTime::ZERO, TraceEvent::NodeRestarted { node: NodeId(2) });
+        s.record(SimTime::ZERO, TraceEvent::MessageLost { msg: MsgId(7), dst: NodeId(1) });
+        s.record(SimTime::ZERO, TraceEvent::MessageDropped { msg: MsgId(8) });
+        s.record(SimTime::ZERO, TraceEvent::MessageDuplicated { msg: MsgId(9) });
+        s.record(SimTime::ZERO, TraceEvent::Retransmit { msg: MsgId(7), attempt: 2 });
+        let r = s.render();
+        for needle in ["RESTART", "MSG-LOST", "MSG-DROP", "MSG-DUP", "RETX", "attempt=2"] {
+            assert!(r.contains(needle), "missing {needle}:\n{r}");
+        }
     }
 }

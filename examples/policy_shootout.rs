@@ -43,6 +43,7 @@ fn main() {
                 scheduler: rtds::sim::sched::SchedulerKind::paper_baseline(),
                 online_refinement: false,
                 failures: Vec::new(),
+                faults: FaultPlan::default(),
             };
             let r = run_scenario(&scenario, &predictor);
             println!(

@@ -22,6 +22,7 @@ fn main() {
         scheduler: SchedulerKind::paper_baseline(),
         online_refinement: false,
         failures: Vec::new(),
+        faults: FaultPlan::default(),
     };
 
     // The predictor normally comes from a profiling campaign

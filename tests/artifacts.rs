@@ -75,6 +75,7 @@ fn run_metrics_survive_serde_round_trip() {
         scheduler: SchedulerKind::paper_baseline(),
         online_refinement: false,
         failures: vec![(5, 8)],
+        faults: FaultPlan::default(),
     };
     let r = run_scenario(&scenario, &quick_predictor());
     let json = serde_json::to_string(&r.metrics).expect("serialize");
@@ -108,6 +109,7 @@ fn latency_distribution_round_trips_and_orders() {
         scheduler: SchedulerKind::paper_baseline(),
         online_refinement: false,
         failures: Vec::new(),
+        faults: FaultPlan::default(),
     };
     let r = run_scenario(&scenario, &quick_predictor());
     let d = r.metrics.latency_distribution().expect("completions");

@@ -18,6 +18,7 @@ fn quick_scenario(policy: PolicySpec, max_tracks: u64, seed: u64) -> ScenarioCon
         scheduler: SchedulerKind::paper_baseline(),
         online_refinement: false,
         failures: Vec::new(),
+        faults: FaultPlan::default(),
     }
 }
 
@@ -199,6 +200,7 @@ fn workload_patterns_feed_the_scenario_exactly() {
         scheduler: SchedulerKind::paper_baseline(),
         online_refinement: false,
         failures: Vec::new(),
+        faults: FaultPlan::default(),
     };
     let r = run_scenario(&scenario, &p);
     let tracks: Vec<u64> = r.metrics.periods.iter().map(|x| x.tracks).collect();

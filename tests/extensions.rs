@@ -129,6 +129,7 @@ fn incremental_policy_adapts_one_replica_at_a_time() {
         scheduler: SchedulerKind::paper_baseline(),
         online_refinement: false,
         failures: Vec::new(),
+        faults: FaultPlan::default(),
     };
     let r = run_scenario(&scenario, &p);
     assert_eq!(r.policy, "incremental");
@@ -176,6 +177,7 @@ fn online_refinement_recovers_a_bad_prior() {
             scheduler: SchedulerKind::paper_baseline(),
             online_refinement: refine,
             failures: Vec::new(),
+            faults: FaultPlan::default(),
         };
         run_scenario(&scenario, predictor)
     };
@@ -238,6 +240,7 @@ fn failures_via_scenario_config_reach_the_cluster() {
         scheduler: SchedulerKind::paper_baseline(),
         online_refinement: false,
         failures: vec![(4, 15)], // EvalDecide home dies at t = 15 s
+        faults: FaultPlan::default(),
     };
     let failed = run_scenario(&cfg, &p);
     cfg.failures.clear();

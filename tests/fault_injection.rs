@@ -167,6 +167,166 @@ fn failure_without_manager_is_fatal_for_the_stage() {
 }
 
 #[test]
+fn crash_during_transmission_does_not_panic_and_counts_losses() {
+    // Regression for the stale-TxComplete panic: crash the Sensor home
+    // (p0) at a time when it is mid-transmission to the next stage. The
+    // run must complete, and the aborted traffic must show up in
+    // `messages_lost` and the trace rather than vanishing.
+    let mut c = managed_cluster(7, 20, 12_000);
+    c.enable_trace(100_000);
+    // 12k tracks * 80 B ≈ 1 MB ≈ 80 ms wire time per hop: at 60 ms into
+    // a period the first hop is reliably in flight.
+    c.crash_node_at(NodeId(0), SimTime::from_millis(3_060), None);
+    let out = c.run();
+    assert!(out.metrics.messages_lost >= 1, "aborted traffic is accounted");
+    let trace = out.trace.expect("tracing enabled");
+    assert!(
+        trace
+            .filtered(|e| matches!(e, TraceEvent::MessageLost { .. }))
+            .next()
+            .is_some(),
+        "lost messages are traced"
+    );
+    // p0 hosts the non-replicable Sensor stage: everything after the
+    // crash misses, but the simulator itself never wedges or panics.
+    assert!(out.metrics.periods.len() >= 20);
+}
+
+#[test]
+fn messages_to_dead_nodes_count_as_lost() {
+    // Null controller so nothing re-homes the dead stage: every period
+    // keeps shipping stage data at the dead Filter node, and every one of
+    // those deliveries must be accounted as lost.
+    let mut config = ClusterConfig::paper_baseline(8, SimDuration::from_secs(12));
+    config.clock = ClockConfig::perfect();
+    let mut c = Cluster::new(config);
+    c.add_task(aaw_task(), Box::new(|_| 2_000));
+    c.enable_trace(100_000);
+    c.crash_node_at(NodeId(FILTER_STAGE as u32), SimTime::from_secs(4), None);
+    let out = c.run();
+    assert!(
+        out.metrics.messages_lost >= 5,
+        "periods after the crash keep losing stage data: {}",
+        out.metrics.messages_lost
+    );
+    let trace = out.trace.expect("tracing enabled");
+    let lost_to_dead = trace
+        .filtered(|e| matches!(e, TraceEvent::MessageLost { dst, .. }
+            if dst.index() == FILTER_STAGE))
+        .count();
+    assert!(lost_to_dead >= 5, "losses name the dead destination: {lost_to_dead}");
+}
+
+#[test]
+fn crash_restart_rejoins_and_manager_reuses_the_node() {
+    // Crash the Filter home with a restart: the manager repairs the
+    // placement while the node is down, the node rejoins cold, and the
+    // tail of the mission is clean again.
+    let mut c = managed_cluster(9, 40, 6_000);
+    c.enable_trace(100_000);
+    c.crash_node_at(
+        NodeId(FILTER_STAGE as u32),
+        SimTime::from_millis(10_100),
+        Some(SimDuration::from_secs(8)),
+    );
+    let out = c.run();
+    assert_eq!(out.metrics.node_restarts, 1);
+    let trace = out.trace.expect("tracing enabled");
+    assert_eq!(
+        trace
+            .filtered(|e| matches!(e, TraceEvent::NodeRestarted { node }
+                if node.index() == FILTER_STAGE))
+            .count(),
+        1
+    );
+    // Failure handled like the legacy fail-stop: losses near the crash…
+    assert!(out
+        .metrics
+        .periods
+        .iter()
+        .any(|p| p.missed == Some(true)));
+    // …and a clean tail long after the restart.
+    let tail_misses = out
+        .metrics
+        .periods
+        .iter()
+        .filter(|p| p.instance >= 30 && p.missed == Some(true))
+        .count();
+    assert_eq!(tail_misses, 0, "post-restart steady state is clean");
+}
+
+#[test]
+fn lossy_bus_with_retransmission_keeps_the_mission_alive() {
+    let run = |drop_prob: f64, retx_timeout_us: u64| {
+        let mut config = ClusterConfig::paper_baseline(10, SimDuration::from_secs(30));
+        config.clock = ClockConfig::perfect();
+        config.bus.drop_prob = drop_prob;
+        config.bus.retx_timeout_us = retx_timeout_us;
+        config.bus.retx_max_retries = 6;
+        let mut c = Cluster::new(config);
+        c.add_task(aaw_task(), Box::new(|_| 2_000));
+        c.set_controller(Box::new(ResourceManager::new(
+            ArmConfig::paper_predictive(),
+            quick_predictor(),
+        )));
+        c.run()
+    };
+    let degraded = run(0.2, 30_000);
+    assert!(degraded.metrics.messages_dropped > 0, "the bus really is lossy");
+    assert!(degraded.metrics.retransmits > 0, "drops are being recovered");
+    let completed = degraded
+        .metrics
+        .periods
+        .iter()
+        .filter(|p| p.missed == Some(false))
+        .count();
+    assert!(
+        completed >= 25,
+        "retransmission keeps periods completing: {completed}/31"
+    );
+}
+
+#[test]
+fn failure_realism_is_deterministic_end_to_end() {
+    let run = || {
+        let mut config = ClusterConfig::paper_baseline(11, SimDuration::from_secs(25));
+        config.clock = ClockConfig::perfect();
+        config.bus.drop_prob = 0.15;
+        config.bus.dup_prob = 0.05;
+        config.bus.retx_timeout_us = 25_000;
+        let mut c = Cluster::new(config);
+        c.add_task(aaw_task(), Box::new(|_| 4_000));
+        c.set_controller(Box::new(ResourceManager::new(
+            ArmConfig::paper_predictive(),
+            quick_predictor(),
+        )));
+        c.crash_node_at(
+            NodeId(FILTER_STAGE as u32),
+            SimTime::from_millis(8_300),
+            Some(SimDuration::from_secs(6)),
+        );
+        c.run()
+    };
+    let a = run();
+    let b = run();
+    let fingerprint = |o: &rtds::sim::cluster::RunOutcome| {
+        (
+            o.metrics
+                .periods
+                .iter()
+                .map(|p| p.end_to_end)
+                .collect::<Vec<_>>(),
+            o.metrics.messages_lost,
+            o.metrics.messages_dropped,
+            o.metrics.messages_duplicated,
+            o.metrics.retransmits,
+            o.metrics.node_restarts,
+        )
+    };
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
 fn dead_node_placement_actions_are_rejected() {
     // A controller that insists on placing replicas on a dead node gets
     // its actions rejected rather than corrupting the run.
