@@ -565,13 +565,17 @@ impl Cluster {
             self.queue.schedule(done, Ev::TxComplete);
         }
         for m in aborted.purged.into_iter().chain(aborted.in_flight) {
-            let MsgPayload::StageData { stage, instance, .. } = m.payload;
-            self.metrics.messages_lost += 1;
-            self.record_trace(now, TraceEvent::MessageLost { msg: m.origin, dst: m.dst });
+            let MsgPayload::StageData { stage, replica, instance, .. } = m.payload;
             // A dead sender cannot retransmit: retire its timer too.
             if let Some(st) = self.retx.remove(&m.origin) {
                 self.queue.cancel(st.timer);
+            } else if self.origin_delivered(stage, replica, instance, m.origin) {
+                // Leftover redundant retransmission; the data already
+                // arrived, so purging this copy loses nothing.
+                continue;
             }
+            self.metrics.messages_lost += 1;
+            self.record_trace(now, TraceEvent::MessageLost { msg: m.origin, dst: m.dst });
             self.fail_instance(now, stage.task, instance);
         }
     }
@@ -623,6 +627,21 @@ impl Cluster {
         let delay = SimDuration::from_micros(cfg.retx_timeout_us << st.attempts.min(16));
         st.timer = self.queue.schedule(now + delay, Ev::RetxTimeout { orig });
         self.retx.insert(orig, st);
+    }
+
+    /// True when some copy of `origin` already reached its stage replica.
+    /// A redundant retransmission (the retx timer fired while the original
+    /// was still queued) can then be lost or dropped harmlessly: the data
+    /// arrived, so the instance must not be failed. Only ever true when
+    /// `dedup_enabled` populates `seen_origins`, which covers every
+    /// configuration that can produce redundant copies.
+    fn origin_delivered(&self, stage: StageId, replica: u32, instance: u64, origin: MsgId) -> bool {
+        self.tasks[stage.task.index()]
+            .instances
+            .get(&instance)
+            .is_some_and(|inst| {
+                inst.stages[stage.subtask.index()].seen_origins[replica as usize].contains(&origin)
+            })
     }
 
     /// Fails one in-flight instance: it is removed, its period record is
@@ -1006,12 +1025,14 @@ impl Cluster {
         let cfg = *self.bus.config();
         if cfg.drop_prob > 0.0 && self.rng.chance(cfg.drop_prob) {
             // Corrupted on the wire: bandwidth burned, nothing delivered.
-            let MsgPayload::StageData { stage, instance, .. } = msg.payload;
+            let MsgPayload::StageData { stage, replica, instance, .. } = msg.payload;
             self.metrics.messages_dropped += 1;
             self.record_trace(now, TraceEvent::MessageDropped { msg: msg.origin });
-            if !self.retx.contains_key(&msg.origin) {
-                // No retransmission coming: the stage can never assemble
-                // its input.
+            if !self.retx.contains_key(&msg.origin)
+                && !self.origin_delivered(stage, replica, instance, msg.origin)
+            {
+                // No retransmission coming and no copy ever arrived: the
+                // stage can never assemble its input.
                 self.fail_instance(now, stage.task, instance);
             }
             return;
@@ -1034,15 +1055,20 @@ impl Cluster {
         let m = self.in_flight.remove(&msg).expect("in-flight message exists");
         let MsgPayload::StageData { stage, replica, instance, tracks } = m.payload;
         if !self.nodes[m.dst.index()].alive {
-            // Routed to a dead node: account the loss instead of silently
-            // dropping it. With a retransmission pending the sender will
-            // retry (the node may restart in time); otherwise the stage
-            // can never assemble its input and the instance fails now.
+            // Routed to a dead node. With a retransmission pending the
+            // sender will retry (the node may restart in time), and a
+            // leftover redundant copy whose origin already arrived is
+            // harmless — neither is a final loss (give-up is accounted in
+            // `on_retx_timeout`). Otherwise the stage can never assemble
+            // its input: count the loss and fail the instance now.
+            if self.retx.contains_key(&m.origin)
+                || self.origin_delivered(stage, replica, instance, m.origin)
+            {
+                return;
+            }
             self.metrics.messages_lost += 1;
             self.record_trace(now, TraceEvent::MessageLost { msg: m.origin, dst: m.dst });
-            if !self.retx.contains_key(&m.origin) {
-                self.fail_instance(now, stage.task, instance);
-            }
+            self.fail_instance(now, stage.task, instance);
             return;
         }
         // Data arrived at a live destination: the sender's retransmit

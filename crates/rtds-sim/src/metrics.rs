@@ -75,7 +75,8 @@ pub struct RunMetrics {
     pub rejected_actions: u64,
     /// Messages lost for good: delivered to a dead node with no
     /// retransmission pending, purged when their sender crashed, or
-    /// abandoned after the retransmit budget ran out.
+    /// abandoned after the retransmit budget ran out. Redundant copies of
+    /// data that already reached its destination never count.
     pub messages_lost: u64,
     /// Messages corrupted by the lossy bus (wire time burned, nothing
     /// delivered). Always 0 unless `BusConfig::drop_prob` is set.

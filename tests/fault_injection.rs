@@ -287,6 +287,43 @@ fn lossy_bus_with_retransmission_keeps_the_mission_alive() {
 }
 
 #[test]
+fn redundant_retransmissions_do_not_fail_satisfied_instances() {
+    // Regression: with a retransmit timeout far shorter than the queueing
+    // delay, the timer fires while the original copy is still queued and a
+    // redundant copy is emitted. Once the original delivers, the leftover
+    // copy may still be dropped by the lossy bus — that drop must NOT fail
+    // the instance, whose stage already received the data.
+    let mut config = ClusterConfig::paper_baseline(12, SimDuration::from_secs(30));
+    config.clock = ClockConfig::perfect();
+    config.bus.drop_prob = 0.15;
+    // ~26 ms wire time per hop at this load vs a 2 ms timeout: every
+    // message spawns redundant copies before its original delivers.
+    config.bus.retx_timeout_us = 2_000;
+    config.bus.retx_max_retries = 12;
+    let mut c = Cluster::new(config);
+    c.add_task(aaw_task(), Box::new(|_| 4_000));
+    c.set_controller(Box::new(ResourceManager::new(
+        ArmConfig::paper_predictive(),
+        quick_predictor(),
+    )));
+    let out = c.run();
+    assert!(out.metrics.retransmits > 0, "the timeout really is aggressive");
+    assert!(out.metrics.messages_dropped > 0, "the bus really is lossy");
+    let completed = out
+        .metrics
+        .periods
+        .iter()
+        .filter(|p| p.missed == Some(false))
+        .count();
+    assert!(
+        completed >= 25,
+        "dropped redundant copies must not kill satisfied instances: \
+         {completed}/{} completed",
+        out.metrics.periods.len()
+    );
+}
+
+#[test]
 fn failure_realism_is_deterministic_end_to_end() {
     let run = || {
         let mut config = ClusterConfig::paper_baseline(11, SimDuration::from_secs(25));
