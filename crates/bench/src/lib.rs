@@ -9,7 +9,9 @@
 
 use rtds_arm::predictor::Predictor;
 use rtds_experiments::models::quick_predictor;
-use rtds_experiments::scenario::{FaultPlan, PatternSpec, PolicySpec, ScenarioConfig};
+use rtds_experiments::scenario::{
+    FaultPlan, ObserveConfig, PatternSpec, PolicySpec, ScenarioConfig,
+};
 use rtds_workloads::WorkloadRange;
 
 /// A short but representative evaluation scenario: 40 periods of the
@@ -26,6 +28,7 @@ pub fn bench_scenario(pattern: PatternSpec, policy: PolicySpec) -> ScenarioConfi
         online_refinement: false,
         failures: Vec::new(),
         faults: FaultPlan::default(),
+        observe: ObserveConfig::default(),
     }
 }
 

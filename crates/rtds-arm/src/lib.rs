@@ -16,6 +16,8 @@
 //!   `ShutDownAReplica` rule (Fig. 6);
 //! * [`manager`] — the full control loop as a simulator
 //!   [`Controller`](rtds_sim::control::Controller);
+//! * [`audit`] — decision records explaining every replicate / shut-down
+//!   / no-op choice, for the observability layer;
 //! * [`config`] — Table 1 constants and policy selection;
 //! * [`metrics`] — the combined performance metric of §5.2.
 //!
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod config;
 pub mod decentralized;
 pub mod eqf;
@@ -52,6 +55,7 @@ pub mod predictor;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::audit::{CandidateForecast, DecisionArm, DecisionRecord};
     pub use crate::config::{ArmConfig, Policy};
     pub use crate::eqf::{assign_deadlines, DeadlineAssignment, EqfVariant};
     pub use crate::decentralized::DecentralizedManager;
@@ -60,6 +64,6 @@ pub mod prelude {
     pub use crate::monitor::{assess_stage, classify, MonitorConfig, SlackTracker, StageHealth};
     pub use crate::nonpredictive::{replicate_subtask_incremental, replicate_subtask_nonpredictive, shutdown_a_replica};
     pub use crate::online::OnlineRefiner;
-    pub use crate::predictive::{replicate_subtask, replicate_subtask_with, ProcessorChoice, ReplicateFailure, ReplicationRequest};
+    pub use crate::predictive::{replicate_subtask, replicate_subtask_audited, replicate_subtask_with, CandidateStep, ProcessorChoice, ReplicateFailure, ReplicationRequest};
     pub use crate::predictor::{analytic_predictor, Predictor};
 }

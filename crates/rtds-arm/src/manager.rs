@@ -19,14 +19,27 @@
 
 use rtds_sim::control::{ControlAction, ControlContext, Controller, PeriodObservation};
 use rtds_sim::ids::{NodeId, SubtaskIdx, TaskId};
+use rtds_sim::metrics::{ForecastResidualStat, ResidualKind};
+use rtds_sim::sink::EventSink;
 
+use crate::audit::{CandidateForecast, DecisionArm, DecisionRecord};
 use crate::config::{ArmConfig, Policy};
 use crate::eqf::{assign_deadlines, try_assign_deadlines, DeadlineAssignment};
 use crate::monitor::{assess_stage, SlackTracker, StageHealth};
 use crate::nonpredictive::{replicate_subtask_incremental, replicate_subtask_nonpredictive, shutdown_a_replica};
 use crate::online::OnlineRefiner;
-use crate::predictive::{replicate_subtask_with, ReplicateFailure, ReplicationRequest};
+use crate::predictive::{
+    replicate_subtask_audited, replicate_subtask_with, ReplicateFailure, ReplicationRequest,
+};
 use crate::predictor::Predictor;
+
+/// Per-allocation audit scratch: what `allocate` examined, for the
+/// decision record. Only filled when a decision sink is attached.
+#[derive(Debug, Default)]
+struct AllocAudit {
+    candidates: Vec<CandidateForecast>,
+    out_of_processors: bool,
+}
 
 /// Counters describing what the manager has done, for reports and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +71,15 @@ pub struct ResourceManager {
     /// Period-boundary invocations seen (for the act_every control
     /// latency).
     invocations: u64,
+    /// Decision-audit sink, when the embedder wants every replicate /
+    /// shut-down / no-op choice explained. `None` (the default) skips all
+    /// audit bookkeeping.
+    audit: Option<Box<dyn EventSink<DecisionRecord> + Send>>,
+    /// Per-stage Eq. (3) forecast residuals (predictive policy only).
+    exec_residuals: Vec<ForecastResidualStat>,
+    /// Per-stage Eq. (4) forecast residuals; index j grades stage j's
+    /// *inbound* message, so index 0 never accumulates.
+    comm_residuals: Vec<ForecastResidualStat>,
 }
 
 impl ResourceManager {
@@ -84,7 +106,28 @@ impl ResourceManager {
             stats: ManagerStats::default(),
             refiners,
             invocations: 0,
+            audit: None,
+            exec_residuals: (0..n)
+                .map(|j| ForecastResidualStat::new(0, j as u32, ResidualKind::Exec))
+                .collect(),
+            comm_residuals: (0..n)
+                .map(|j| ForecastResidualStat::new(0, j as u32, ResidualKind::Comm))
+                .collect(),
         }
+    }
+
+    /// Attaches a decision-audit sink: every subsequent control cycle
+    /// emits one [`DecisionRecord`] per replicable stage it acted on (or
+    /// explicitly declined to act on). Pure observation — attaching a
+    /// sink never changes any decision.
+    pub fn set_decision_sink(&mut self, sink: Box<dyn EventSink<DecisionRecord> + Send>) {
+        self.audit = Some(sink);
+    }
+
+    /// Builder-style [`ResourceManager::set_decision_sink`].
+    pub fn with_decision_sink(mut self, sink: Box<dyn EventSink<DecisionRecord> + Send>) -> Self {
+        self.set_decision_sink(sink);
+        self
     }
 
     /// The online refiner of one stage, if refinement is enabled.
@@ -182,6 +225,7 @@ impl ResourceManager {
         current: &[NodeId],
         obs_tracks: u64,
         ctx: &ControlContext,
+        mut audit: Option<&mut AllocAudit>,
     ) -> Vec<NodeId> {
         let utils: Vec<f64> = (0..ctx.n_nodes())
             .map(|i| {
@@ -209,7 +253,23 @@ impl ResourceManager {
                     budget,
                     slack: budget.mul_f64(self.cfg.monitor.slack_fraction),
                 };
-                match replicate_subtask_with(&req, &self.predictor, self.cfg.processor_choice) {
+                let outcome = match audit.as_deref_mut() {
+                    Some(a) => {
+                        let mut trail = Vec::new();
+                        let r = replicate_subtask_audited(
+                            &req,
+                            &self.predictor,
+                            self.cfg.processor_choice,
+                            &mut trail,
+                        );
+                        a.candidates = trail.into_iter().map(CandidateForecast::from).collect();
+                        r
+                    }
+                    None => {
+                        replicate_subtask_with(&req, &self.predictor, self.cfg.processor_choice)
+                    }
+                };
+                match outcome {
                     Ok(ps) => ps,
                     Err(ReplicateFailure::OutOfProcessors { best_effort, .. }) => {
                         // Fig. 5 reports FAILURE once every processor hosts
@@ -217,14 +277,29 @@ impl ResourceManager {
                         // enlarged PS to all of PR, so the maximal set is
                         // what remains in force.
                         self.stats.allocation_failures += 1;
+                        if let Some(a) = audit.as_deref_mut() {
+                            a.out_of_processors = true;
+                        }
                         best_effort
                     }
                 }
             }
             Policy::NonPredictive {
                 utilization_threshold_pct,
-            } => replicate_subtask_nonpredictive(current, &utils, utilization_threshold_pct),
-            Policy::Incremental => replicate_subtask_incremental(current, &utils),
+            } => {
+                let ps = replicate_subtask_nonpredictive(current, &utils, utilization_threshold_pct);
+                if let Some(a) = audit.as_deref_mut() {
+                    a.candidates = heuristic_candidates(current, &utils, &ps);
+                }
+                ps
+            }
+            Policy::Incremental => {
+                let ps = replicate_subtask_incremental(current, &utils);
+                if let Some(a) = audit {
+                    a.candidates = heuristic_candidates(current, &utils, &ps);
+                }
+                ps
+            }
         };
         let alive_ps: Vec<NodeId> = ps.into_iter().filter(|n| ctx.alive[n.index()]).collect();
         if alive_ps.is_empty() {
@@ -233,6 +308,71 @@ impl ResourceManager {
             alive_ps
         }
     }
+
+    /// Builds and emits one decision record, if a sink is attached.
+    /// `observed_ms` is the latest monitored stage latency (exec +
+    /// inbound message), from which observed slack is derived.
+    #[allow(clippy::too_many_arguments)] // a record has this many facts
+    fn emit_decision(
+        &mut self,
+        ctx: &ControlContext,
+        stage: usize,
+        arm: DecisionArm,
+        health: Option<StageHealth>,
+        observed_ms: Option<f64>,
+        alloc: Option<AllocAudit>,
+        before: &[NodeId],
+        chosen: &[NodeId],
+    ) {
+        let Some(sink) = self.audit.as_mut() else {
+            return;
+        };
+        let deadlines = self.deadlines.as_ref().expect("deadlines initialized");
+        let budget = deadlines.stage_budget(stage);
+        let threshold = budget.saturating_sub(budget.mul_f64(self.cfg.monitor.slack_fraction));
+        let (candidates, out_of_processors) = alloc
+            .map(|a| (a.candidates, a.out_of_processors))
+            .unwrap_or_default();
+        sink.record(
+            ctx.now,
+            DecisionRecord {
+                task: self.task.0,
+                stage: stage as u32,
+                policy: self.cfg.policy.name().to_string(),
+                arm,
+                health,
+                observed_slack_ms: observed_ms.map(|o| budget.as_millis_f64() - o),
+                budget_ms: budget.as_millis_f64(),
+                threshold_ms: threshold.as_millis_f64(),
+                candidates,
+                before: before.to_vec(),
+                chosen: chosen.to_vec(),
+                out_of_processors,
+            },
+        );
+    }
+}
+
+/// Candidate list for the utilization-heuristic policies, which never
+/// forecast: every processor outside the current set was "considered",
+/// and acceptance is membership in the chosen set.
+fn heuristic_candidates(
+    current: &[NodeId],
+    utils: &[f64],
+    chosen: &[NodeId],
+) -> Vec<CandidateForecast> {
+    (0..utils.len())
+        .map(NodeId::from_index)
+        .filter(|n| !current.contains(n))
+        .map(|n| CandidateForecast {
+            node: n,
+            util_pct: utils[n.index()],
+            eex_ms: None,
+            ecd_ms: None,
+            worst_total_ms: None,
+            accepted: chosen.contains(&n),
+        })
+        .collect()
 }
 
 /// Manages several tasks by delegating to one [`ResourceManager`] each —
@@ -272,6 +412,13 @@ impl Controller for CompositeManager {
     fn name(&self) -> &'static str {
         "composite"
     }
+
+    fn forecast_residuals(&self) -> Vec<ForecastResidualStat> {
+        self.managers
+            .iter()
+            .flat_map(Controller::forecast_residuals)
+            .collect()
+    }
 }
 
 impl Controller for ResourceManager {
@@ -289,6 +436,9 @@ impl Controller for ResourceManager {
         }
         let mut actions = Vec::new();
         let mut changed = false;
+        // Repair decisions to audit, gathered outside the placements
+        // borrow: (stage, before, chosen).
+        let mut repair_records: Vec<(usize, Vec<NodeId>, Vec<NodeId>)> = Vec::new();
 
         // Survivability repair: drop dead nodes from every replica set; a
         // stage whose whole set died is re-homed on the least-utilized
@@ -306,13 +456,48 @@ impl Controller for ResourceManager {
                 }
             }
             self.stats.repairs += 1;
-            *ps = repaired.clone();
+            let before = std::mem::replace(ps, repaired.clone());
+            if self.audit.is_some() {
+                repair_records.push((j, before, repaired.clone()));
+            }
             actions.push(ControlAction::SetPlacement {
                 task: self.task,
                 subtask: SubtaskIdx::from_index(j),
                 nodes: repaired,
             });
             changed = true;
+        }
+        for (j, before, chosen) in repair_records {
+            self.emit_decision(ctx, j, DecisionArm::Repair, None, None, None, &before, &chosen);
+        }
+
+        // Forecast-accuracy telemetry: grade the Eq. (3)/(4) forecasts
+        // against what the simulator measured, *before* online refinement
+        // absorbs these observations (a refined model must not be graded
+        // on data it has already seen).
+        if matches!(self.cfg.policy, Policy::Predictive) {
+            for obs in completed.iter().filter(|o| o.task == self.task) {
+                for st in &obs.stages {
+                    let j = st.subtask.index();
+                    let share = st.tracks.div_ceil(u64::from(st.replicas.max(1)));
+                    let ps = &ctx.placements[t][j];
+                    let u = if ps.is_empty() {
+                        self.cfg.u_init_pct
+                    } else {
+                        ps.iter().map(|p| ctx.node_util_pct[p.index()]).sum::<f64>()
+                            / ps.len() as f64
+                    };
+                    let eex = self.predictor.eex(j, share, u).as_millis_f64();
+                    self.exec_residuals[j].observe(eex, st.exec_latency.as_millis_f64());
+                    if j > 0 {
+                        let ecd = self
+                            .predictor
+                            .ecd(j - 1, share, ctx.total_tracks())
+                            .as_millis_f64();
+                        self.comm_residuals[j].observe(ecd, st.inbound_msg_delay.as_millis_f64());
+                    }
+                }
+            }
         }
 
         // Online refinement: absorb every completed stage observation and
@@ -355,6 +540,9 @@ impl Controller for ResourceManager {
         // on the health of the most recent one.
         let mut latest_health: Vec<Option<(StageHealth, u64)>> =
             vec![None; self.predictor.n_stages()];
+        // Latest observed stage latency (exec + inbound message), ms —
+        // the decision record derives observed slack from it.
+        let mut latest_obs_ms: Vec<Option<f64>> = vec![None; self.predictor.n_stages()];
         let mut shutdown_ready = vec![false; self.predictor.n_stages()];
         let mut saw_shed = false;
         for obs in completed.iter().filter(|o| o.task == self.task) {
@@ -373,6 +561,8 @@ impl Controller for ResourceManager {
                     self.tracker
                         .observe(j, health, self.cfg.monitor.shutdown_patience);
                 latest_health[j] = Some((health, st.tracks));
+                latest_obs_ms[j] =
+                    Some((st.exec_latency + st.inbound_msg_delay).as_millis_f64());
             }
         }
 
@@ -392,11 +582,24 @@ impl Controller for ResourceManager {
                 // manager can react at all (both policies equally).
                 None => saw_shed,
             };
+            let auditing = self.audit.is_some();
+            let health = latest_health[j].map(|(h, _)| h);
             if needs {
                 let tracks = latest_health[j]
                     .map(|(_, tr)| tr)
                     .unwrap_or(ctx.last_tracks[t]);
-                let new = self.allocate(j, &placements[j], tracks, ctx);
+                let mut alloc_audit = auditing.then(AllocAudit::default);
+                let new = self.allocate(j, &placements[j], tracks, ctx, alloc_audit.as_mut());
+                self.emit_decision(
+                    ctx,
+                    j,
+                    DecisionArm::Replicate,
+                    health,
+                    latest_obs_ms[j],
+                    alloc_audit,
+                    &placements[j],
+                    &new,
+                );
                 if new != placements[j] {
                     self.stats.replications += 1;
                     placements[j] = new.clone();
@@ -409,6 +612,16 @@ impl Controller for ResourceManager {
                 }
             } else if shutdown_ready[j] && placements[j].len() > 1 {
                 let new = shutdown_a_replica(&placements[j]);
+                self.emit_decision(
+                    ctx,
+                    j,
+                    DecisionArm::ShutDown,
+                    health,
+                    latest_obs_ms[j],
+                    None,
+                    &placements[j],
+                    &new,
+                );
                 self.stats.shutdowns += 1;
                 placements[j] = new.clone();
                 actions.push(ControlAction::SetPlacement {
@@ -417,6 +630,20 @@ impl Controller for ResourceManager {
                     nodes: new,
                 });
                 changed = true;
+            } else if auditing {
+                // Explicit no-op: the stage was examined on an acting
+                // cycle and left alone.
+                let before = placements[j].clone();
+                self.emit_decision(
+                    ctx,
+                    j,
+                    DecisionArm::NoOp,
+                    health,
+                    latest_obs_ms[j],
+                    None,
+                    &before,
+                    &before,
+                );
             }
         }
 
@@ -430,6 +657,16 @@ impl Controller for ResourceManager {
 
     fn name(&self) -> &'static str {
         self.cfg.policy.name()
+    }
+
+    fn forecast_residuals(&self) -> Vec<ForecastResidualStat> {
+        let task = self.task.0;
+        self.exec_residuals
+            .iter()
+            .chain(self.comm_residuals.iter())
+            .filter(|s| s.count > 0)
+            .map(|s| ForecastResidualStat { task, ..*s })
+            .collect()
     }
 }
 
@@ -653,6 +890,175 @@ mod tests {
         // action is emitted and the failure counter ticks.
         assert!(actions.is_empty(), "{actions:?}");
         assert!(m.stats().allocation_failures >= 1);
+    }
+
+    #[test]
+    fn decision_sink_explains_replication_with_candidates_and_threshold() {
+        use rtds_sim::sink::BoundedSink;
+        use std::sync::{Arc, Mutex};
+
+        let shared = Arc::new(Mutex::new(BoundedSink::<DecisionRecord>::bounded(64)));
+        let mut m = manager(ArmConfig::paper_predictive())
+            .with_decision_sink(Box::new(Arc::clone(&shared)));
+        let c = ctx(vec![15.0; 6], home_placements(), 14_000);
+        m.on_period_boundary(&[], &c); // init deadlines
+        let obs = obs_with_filter_latency(900.0, 14_000);
+        let actions = m.on_period_boundary(&[obs], &c);
+        assert!(!actions.is_empty());
+
+        let sink = shared.lock().unwrap();
+        let records: Vec<&DecisionRecord> = sink.events().iter().map(|(_, r)| r).collect();
+        // Every replicable stage got a record on each of the two acting
+        // cycles (the init cycle audits explicit no-ops).
+        let replicable = aaw_task().stages.iter().filter(|s| s.replicable).count();
+        assert_eq!(records.len(), 2 * replicable, "{records:?}");
+        let filter = records
+            .iter()
+            .find(|r| r.stage as usize == FILTER_STAGE && r.arm == DecisionArm::Replicate)
+            .expect("filter decision");
+        assert_eq!(filter.arm, DecisionArm::Replicate);
+        assert_eq!(filter.policy, "predictive");
+        assert_eq!(filter.health, Some(StageHealth::Missed));
+        assert!(!filter.candidates.is_empty(), "candidates must be named");
+        assert!(filter.candidates.iter().all(|cf| cf.eex_ms.is_some()));
+        assert!(filter.threshold_ms < filter.budget_ms);
+        // Observed slack is negative: the stage blew its budget.
+        assert!(filter.observed_slack_ms.unwrap() < 0.0);
+        assert_eq!(filter.before, vec![NodeId(FILTER_STAGE as u32)]);
+        assert!(filter.chosen.len() > filter.before.len());
+        // Healthy stages got explicit no-ops.
+        assert!(records
+            .iter()
+            .filter(|r| r.stage as usize != FILTER_STAGE)
+            .all(|r| r.arm == DecisionArm::NoOp && r.before == r.chosen));
+    }
+
+    #[test]
+    fn decision_sink_does_not_change_decisions() {
+        use rtds_sim::sink::BoundedSink;
+        use std::sync::{Arc, Mutex};
+
+        let run = |audited: bool| {
+            let mut m = manager(ArmConfig::paper_predictive());
+            if audited {
+                m.set_decision_sink(Box::new(Arc::new(Mutex::new(
+                    BoundedSink::<DecisionRecord>::bounded(256),
+                ))));
+            }
+            let c = ctx(vec![15.0; 6], home_placements(), 14_000);
+            let mut all = m.on_period_boundary(&[], &c);
+            for exec_ms in [900.0, 700.0, 1.0, 1.0, 1.0] {
+                let obs = obs_with_filter_latency(exec_ms, 14_000);
+                all.extend(m.on_period_boundary(&[obs], &c));
+            }
+            (all, m.stats())
+        };
+        assert_eq!(run(false), run(true), "audit must be a pure observer");
+    }
+
+    #[test]
+    fn nonpredictive_decisions_name_candidates_without_forecasts() {
+        use rtds_sim::sink::BoundedSink;
+        use std::sync::{Arc, Mutex};
+
+        let shared = Arc::new(Mutex::new(BoundedSink::<DecisionRecord>::bounded(64)));
+        let mut m = manager(ArmConfig::paper_nonpredictive())
+            .with_decision_sink(Box::new(Arc::clone(&shared)));
+        let utils = vec![10.0, 30.0, 15.0, 25.0, 5.0, 2.0];
+        let c = ctx(utils, home_placements(), 14_000);
+        m.on_period_boundary(&[], &c);
+        let obs = obs_with_filter_latency(900.0, 14_000);
+        m.on_period_boundary(&[obs], &c);
+
+        let sink = shared.lock().unwrap();
+        let filter = sink
+            .events()
+            .iter()
+            .map(|(_, r)| r)
+            .find(|r| r.stage as usize == FILTER_STAGE && r.arm == DecisionArm::Replicate)
+            .expect("filter replication record");
+        // Five processors outside the current set were considered …
+        assert_eq!(filter.candidates.len(), 5);
+        // … none with a forecast (the heuristic never computes one) …
+        assert!(filter.candidates.iter().all(|cf| cf.eex_ms.is_none()));
+        // … and the accepted ones are exactly those under 20 % utilization.
+        for cf in &filter.candidates {
+            assert_eq!(cf.accepted, cf.util_pct < 20.0, "{cf:?}");
+        }
+    }
+
+    #[test]
+    fn shutdown_decision_is_recorded() {
+        use rtds_sim::sink::BoundedSink;
+        use std::sync::{Arc, Mutex};
+
+        let mut cfg = ArmConfig::paper_predictive();
+        cfg.monitor.shutdown_patience = 2;
+        let shared = Arc::new(Mutex::new(BoundedSink::<DecisionRecord>::bounded(64)));
+        let mut m = ResourceManager::new(cfg, predictor())
+            .with_decision_sink(Box::new(Arc::clone(&shared)));
+        let mut placements = home_placements();
+        placements[FILTER_STAGE] = vec![NodeId(2), NodeId(5)];
+        let c = ctx(vec![10.0; 6], placements, 1_000);
+        m.on_period_boundary(&[], &c);
+        let obs = obs_with_filter_latency(1.0, 1_000);
+        m.on_period_boundary(std::slice::from_ref(&obs), &c);
+        m.on_period_boundary(&[obs], &c);
+
+        let sink = shared.lock().unwrap();
+        let shutdown = sink
+            .events()
+            .iter()
+            .map(|(_, r)| r)
+            .find(|r| r.arm == DecisionArm::ShutDown)
+            .expect("shutdown record");
+        assert_eq!(shutdown.stage as usize, FILTER_STAGE);
+        assert_eq!(shutdown.health, Some(StageHealth::HighSlack));
+        assert_eq!(shutdown.before, vec![NodeId(2), NodeId(5)]);
+        assert_eq!(shutdown.chosen, vec![NodeId(2)]);
+        // High slack means a comfortably positive observed slack.
+        assert!(shutdown.observed_slack_ms.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn predictive_manager_accumulates_forecast_residuals() {
+        let mut m = manager(ArmConfig::paper_predictive());
+        let c = ctx(vec![10.0; 6], home_placements(), 1_000);
+        m.on_period_boundary(&[], &c);
+        assert!(
+            Controller::forecast_residuals(&m).is_empty(),
+            "no observations yet"
+        );
+        let obs = obs_with_filter_latency(30.0, 1_000);
+        m.on_period_boundary(&[obs], &c);
+        let residuals = Controller::forecast_residuals(&m);
+        // 5 exec streams + 4 comm streams (stage 0 has no inbound msg).
+        assert_eq!(residuals.len(), 9, "{residuals:?}");
+        assert!(residuals.iter().all(|r| r.count == 1));
+        assert!(residuals.iter().all(|r| r.task == 0));
+        let exec: Vec<_> = residuals
+            .iter()
+            .filter(|r| r.kind == ResidualKind::Exec)
+            .collect();
+        assert_eq!(exec.len(), 5);
+        assert!(
+            residuals
+                .iter()
+                .filter(|r| r.kind == ResidualKind::Comm)
+                .all(|r| r.stage > 0),
+            "stage 0 never has a comm residual"
+        );
+        assert!(residuals.iter().all(|r| r.mean_abs_err_ms().is_finite()));
+    }
+
+    #[test]
+    fn nonpredictive_manager_reports_no_residuals() {
+        let mut m = manager(ArmConfig::paper_nonpredictive());
+        let c = ctx(vec![10.0; 6], home_placements(), 1_000);
+        m.on_period_boundary(&[], &c);
+        let obs = obs_with_filter_latency(30.0, 1_000);
+        m.on_period_boundary(&[obs], &c);
+        assert!(Controller::forecast_residuals(&m).is_empty());
     }
 
     #[test]

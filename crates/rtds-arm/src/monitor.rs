@@ -63,6 +63,7 @@ impl MonitorConfig {
 
 /// One stage's health, as judged against its budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
 pub enum StageHealth {
     /// Observed latency exceeded the budget: the individual deadline was
     /// missed.

@@ -131,16 +131,63 @@ pub fn replicate_subtask(
     replicate_subtask_with(req, predictor, ProcessorChoice::LeastUtilized)
 }
 
+/// One candidate processor examined by an audited Fig. 5 run: the node,
+/// the utilization it was picked at, its own forecast with the enlarged
+/// replica set, the worst forecast across that set, and whether the set
+/// was accepted (forecast within threshold) at that size.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct CandidateStep {
+    /// The processor added at this step.
+    pub node: NodeId,
+    /// Its observed utilization at selection time, percent.
+    pub util_pct: f64,
+    /// Forecast execution latency of this node's replica (Eq. (3)), ms.
+    pub eex_ms: f64,
+    /// Forecast inbound communication delay (Eqs. (4)–(6)), ms; 0 for
+    /// stage 0, which has no inbound message.
+    pub ecd_ms: f64,
+    /// Worst replica forecast across the whole enlarged set, ms — the
+    /// value Fig. 5 compares against the threshold.
+    pub worst_total_ms: f64,
+    /// Whether the enlarged set satisfied `worst ≤ budget − slack`.
+    pub accepted: bool,
+}
+
 /// Fig. 5 with an explicit host-selection rule (ablation entry point).
 pub fn replicate_subtask_with(
     req: &ReplicationRequest<'_>,
     predictor: &Predictor,
     choice: ProcessorChoice,
 ) -> Result<Vec<NodeId>, ReplicateFailure> {
+    replicate_subtask_core(req, predictor, choice, None)
+}
+
+/// Fig. 5 with a per-candidate audit trail: every processor examined is
+/// appended to `audit` with its forecast against the threshold. The
+/// decision is **identical** to [`replicate_subtask_with`] — the audit
+/// only records what the algorithm computed anyway (plus the added
+/// node's own eex/ecd split, derived from the same predictor calls).
+pub fn replicate_subtask_audited(
+    req: &ReplicationRequest<'_>,
+    predictor: &Predictor,
+    choice: ProcessorChoice,
+    audit: &mut Vec<CandidateStep>,
+) -> Result<Vec<NodeId>, ReplicateFailure> {
+    replicate_subtask_core(req, predictor, choice, Some(audit))
+}
+
+fn replicate_subtask_core(
+    req: &ReplicationRequest<'_>,
+    predictor: &Predictor,
+    choice: ProcessorChoice,
+    mut audit: Option<&mut Vec<CandidateStep>>,
+) -> Result<Vec<NodeId>, ReplicateFailure> {
     let n_nodes = req.node_util_pct.len();
     assert!(!req.current.is_empty(), "replica set can never be empty");
     assert!(req.stage < predictor.n_stages(), "stage out of range");
     let mut ps: Vec<NodeId> = req.current.to_vec();
+    let threshold = req.budget.saturating_sub(req.slack).as_millis_f64();
 
     loop {
         // Step 1-3: find the next processor outside PS per the rule.
@@ -161,13 +208,42 @@ pub fn replicate_subtask_with(
         ps.push(p);
         // Step 6: forecast every replica with the enlarged set.
         let worst = worst_forecast_ms(&ps, req, predictor);
-        let threshold = req.budget.saturating_sub(req.slack).as_millis_f64();
-        if worst <= threshold {
+        let accepted = worst <= threshold;
+        if let Some(trail) = audit.as_deref_mut() {
+            let (eex_ms, ecd_ms) = replica_forecast_ms(p, ps.len(), req, predictor);
+            trail.push(CandidateStep {
+                node: p,
+                util_pct: req.node_util_pct[p.index()],
+                eex_ms,
+                ecd_ms,
+                worst_total_ms: worst,
+                accepted,
+            });
+        }
+        if accepted {
             // Step 7.
             return Ok(ps);
         }
         // Step 6.6.1: need another replica; loop.
     }
+}
+
+/// The (eex, ecd) forecast in ms for one replica of the set, at set size
+/// `k` — the per-node split behind [`worst_forecast_ms`].
+fn replica_forecast_ms(
+    q: NodeId,
+    k: usize,
+    req: &ReplicationRequest<'_>,
+    predictor: &Predictor,
+) -> (f64, f64) {
+    let share = req.tracks.div_ceil(k as u64);
+    let eex = predictor.eex(req.stage, share, req.node_util_pct[q.index()]);
+    let ecd = if req.stage == 0 {
+        SimDuration::ZERO
+    } else {
+        predictor.ecd(req.stage - 1, share, req.total_periodic_tracks)
+    };
+    (eex.as_millis_f64(), ecd.as_millis_f64())
 }
 
 /// The forecast total (eex + ecd, ms) of the worst-off replica under the
@@ -377,6 +453,53 @@ mod tests {
         let b =
             replicate_subtask_with(&r, &predictor(), ProcessorChoice::LeastUtilized).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn audited_run_matches_unaudited_and_explains_each_step() {
+        let utils = [50.0, 10.0, 0.0, 30.0, 5.0, 90.0];
+        let current = [NodeId(2)];
+        let r = req(&current, &utils, 16_000, 260.0);
+        let p = predictor();
+        let plain = replicate_subtask(&r, &p).unwrap();
+        let mut trail = Vec::new();
+        let audited =
+            replicate_subtask_audited(&r, &p, ProcessorChoice::LeastUtilized, &mut trail)
+                .unwrap();
+        assert_eq!(plain, audited, "audit must not change the decision");
+        // One step per processor added beyond the original set.
+        assert_eq!(trail.len(), audited.len() - current.len());
+        // Exactly the last step is accepted; earlier ones were rejected.
+        assert!(trail.last().unwrap().accepted);
+        assert!(trail[..trail.len() - 1].iter().all(|s| !s.accepted));
+        let threshold = r.budget.saturating_sub(r.slack).as_millis_f64();
+        for (i, s) in trail.iter().enumerate() {
+            assert_eq!(s.node, audited[current.len() + i]);
+            assert_eq!(s.util_pct, utils[s.node.index()]);
+            assert!(s.eex_ms > 0.0 && s.ecd_ms > 0.0);
+            // The worst forecast bounds this replica's own forecast and
+            // acceptance means it beat the threshold.
+            assert!(s.worst_total_ms >= 0.0);
+            assert_eq!(s.accepted, s.worst_total_ms <= threshold);
+        }
+    }
+
+    #[test]
+    fn audited_out_of_processors_keeps_the_rejected_trail() {
+        let utils = [95.0; 3];
+        let current = [NodeId(0)];
+        let r = req(&current, &utils, 17_500, 100.0);
+        let mut trail = Vec::new();
+        let err = replicate_subtask_audited(
+            &r,
+            &predictor(),
+            ProcessorChoice::LeastUtilized,
+            &mut trail,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReplicateFailure::OutOfProcessors { .. }));
+        assert_eq!(trail.len(), 2, "both extra processors were examined");
+        assert!(trail.iter().all(|s| !s.accepted));
     }
 
     #[test]

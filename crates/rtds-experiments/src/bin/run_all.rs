@@ -51,6 +51,8 @@ fn main() {
     if cli.perf {
         rtds_experiments::perfmon::enable(Some(allocation_count));
     }
+    // The perf aggregate is process-global; start this batch from zero.
+    rtds_experiments::perfmon::reset();
     use rtds_experiments::figures::{eval, patterns, profile, tables};
     let o = &cli.options;
     let figs = vec![
@@ -83,6 +85,20 @@ fn main() {
     std::fs::write(&report_path, report).expect("write report");
     if let Some(s) = rtds_experiments::perfmon::summary() {
         println!("{s}");
+    }
+    match rtds_experiments::export::write_observed_probe(
+        cli.trace_out.as_deref(),
+        cli.decisions_out.as_deref(),
+    ) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to write observability exports: {e}");
+            std::process::exit(1);
+        }
     }
     eprintln!("artifacts in {} (full text: {})", o.out_dir.display(), report_path.display());
 }

@@ -19,6 +19,12 @@ pub struct Cli {
     /// `--perf` was passed: instrument every simulation and print an
     /// aggregated performance report at exit.
     pub perf: bool,
+    /// `--trace-out FILE`: write a Chrome trace-event JSON export of an
+    /// observed probe run (see [`crate::export::write_observed_probe`]).
+    pub trace_out: Option<PathBuf>,
+    /// `--decisions-out FILE`: write the probe run's decision-audit
+    /// stream as JSON Lines.
+    pub decisions_out: Option<PathBuf>,
 }
 
 /// Parses `args` (excluding argv\[0\]).
@@ -29,6 +35,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut options = FigureOptions::default();
     let mut extended = false;
     let mut perf = false;
+    let mut trace_out = None;
+    let mut decisions_out = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -39,6 +47,14 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--out" => {
                 let dir = it.next().ok_or("--out needs a directory")?;
                 options.out_dir = PathBuf::from(dir);
+            }
+            "--trace-out" => {
+                let f = it.next().ok_or("--trace-out needs a file path")?;
+                trace_out = Some(PathBuf::from(f));
+            }
+            "--decisions-out" => {
+                let f = it.next().ok_or("--decisions-out needs a file path")?;
+                decisions_out = Some(PathBuf::from(f));
             }
             "--threads" => {
                 let n = it
@@ -55,18 +71,22 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    Ok(Cli { options, extended, perf })
+    Ok(Cli { options, extended, perf, trace_out, decisions_out })
 }
 
 /// The usage string.
 pub fn usage() -> String {
     "usage: <figure-bin> [--quick] [--analytic] [--extended] [--perf] [--out DIR] [--threads N]\n\
+     \x20                [--trace-out FILE] [--decisions-out FILE]\n\
      --quick     small grids / short runs\n\
      --analytic  use closed-form latency models (skip the profiling campaign)\n\
      --extended  extend the workload axis beyond the paper's range (fig13)\n\
      --perf      instrument simulations; print aggregated perf counters at exit\n\
      --out DIR   CSV output directory (default: results)\n\
-     --threads N sweep parallelism"
+     --threads N sweep parallelism\n\
+     --trace-out FILE     write a Chrome trace-event JSON (Perfetto-loadable)\n\
+     \x20                    from a fully-observed probe run\n\
+     --decisions-out FILE write the probe run's decision audit as JSON Lines"
         .into()
 }
 
@@ -86,6 +106,9 @@ where
     if cli.perf {
         crate::perfmon::enable(None);
     }
+    // The perf aggregate is process-global; start this batch from zero
+    // rather than folding into whatever a previous batch left behind.
+    crate::perfmon::reset();
     let fig = f(&cli);
     println!("{}", fig.text);
     if let Some(s) = crate::perfmon::summary() {
@@ -99,6 +122,20 @@ where
         }
         Err(e) => {
             eprintln!("failed to write CSVs: {e}");
+            std::process::exit(1);
+        }
+    }
+    match crate::export::write_observed_probe(
+        cli.trace_out.as_deref(),
+        cli.decisions_out.as_deref(),
+    ) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to write observability exports: {e}");
             std::process::exit(1);
         }
     }
@@ -138,5 +175,19 @@ mod tests {
         assert!(parse(&s(&["--threads", "zero"])).is_err());
         assert!(parse(&s(&["--threads", "0"])).is_err());
         assert!(parse(&s(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse_and_default_off() {
+        let c = parse(&[]).unwrap();
+        assert!(c.trace_out.is_none());
+        assert!(c.decisions_out.is_none());
+        let c = parse(&s(&["--trace-out", "/tmp/t.json", "--decisions-out", "/tmp/d.jsonl"]))
+            .unwrap();
+        assert_eq!(c.trace_out, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(c.decisions_out, Some(PathBuf::from("/tmp/d.jsonl")));
+        assert!(parse(&s(&["--trace-out"])).is_err());
+        assert!(parse(&s(&["--decisions-out"])).is_err());
+        assert!(usage().contains("--trace-out"));
     }
 }

@@ -9,6 +9,8 @@
 //!   policy into one simulation run;
 //! * [`sweep`] — parallel max-workload sweeps (the x-axis of Figs. 9–13);
 //! * [`figures`] — one runner per table/figure;
+//! * [`export`] — Chrome trace-event and decision-JSONL exporters for
+//!   observed runs;
 //! * [`report`] — aligned tables, CSV artifacts, ASCII charts;
 //! * [`cli`] — shared flag parsing for the figure binaries.
 //!
@@ -20,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod export;
 pub mod figures;
 pub mod models;
 pub mod perfmon;
@@ -28,7 +31,10 @@ pub mod scenario;
 pub mod sweep;
 
 pub use figures::{FigureOptions, FigureOutput};
+pub use export::{chrome_trace, decisions_jsonl, validate_chrome_trace};
+pub use serde_json;
 pub use scenario::{
-    run_scenario, CrashFault, FaultPlan, PatternSpec, PolicySpec, ScenarioConfig, ScenarioResult,
+    run_scenario, CrashFault, FaultPlan, ObserveConfig, PatternSpec, PolicySpec, ScenarioConfig,
+    ScenarioResult,
 };
 pub use sweep::{run_sweep, SweepConfig, SweepPoint, TRACKS_PER_UNIT};

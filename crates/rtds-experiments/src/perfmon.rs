@@ -27,6 +27,10 @@ static AGG: Mutex<Option<Aggregate>> = Mutex::new(None);
 pub struct Aggregate {
     /// Instrumented simulation runs recorded.
     pub runs: u64,
+    /// Runs whose report carried an allocation count (probe installed).
+    pub alloc_runs: u64,
+    /// Control epochs contributed by those probed runs only.
+    pub alloc_epochs: u64,
     /// Element-wise sum of every run's report.
     pub report: PerfReport,
 }
@@ -51,9 +55,21 @@ pub fn probe() -> Option<fn() -> u64> {
     PROBE.get().copied()
 }
 
+/// Clears the aggregate so a new batch of runs starts from zero.
+///
+/// The aggregate is process-global; without this, consecutive batches in
+/// one process (`run_all` invoking several figures, or a binary reused
+/// for a second sweep) silently fold into each other and the printed
+/// "aggregated over N runs" counts work from the previous batch. The
+/// enable switch and the allocation probe are *not* cleared — the probe
+/// is a process-lifetime reader and `OnceLock` can't be unset.
+pub fn reset() {
+    *AGG.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
 /// Folds one run's report into the process aggregate.
 pub fn record(r: &PerfReport) {
-    let mut guard = AGG.lock().expect("perf aggregate poisoned");
+    let mut guard = AGG.lock().unwrap_or_else(|e| e.into_inner());
     let agg = guard.get_or_insert_with(Aggregate::default);
     agg.runs += 1;
     for i in 0..PHASE_NAMES.len() {
@@ -71,23 +87,44 @@ pub fn record(r: &PerfReport) {
     agg.report.controller_ns += r.controller_ns;
     if let Some(a) = r.epoch_allocs {
         *agg.report.epoch_allocs.get_or_insert(0) += a;
+        agg.alloc_runs += 1;
+        agg.alloc_epochs += r.control_epochs;
     }
     agg.report.wall_ns += r.wall_ns;
 }
 
 /// A snapshot of the aggregate, if any runs were recorded.
 pub fn snapshot() -> Option<Aggregate> {
-    AGG.lock().expect("perf aggregate poisoned").clone()
+    AGG.lock().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
 /// Renders the aggregate for end-of-run printing; `None` when
 /// instrumentation was off or nothing ran.
 pub fn summary() -> Option<String> {
     let agg = snapshot()?;
+    let mut report = agg.report;
+    let mut alloc_note = String::new();
+    if agg.alloc_runs > 0 && agg.alloc_runs < agg.runs {
+        // Partial probe coverage: `render()` would divide the probed
+        // allocation count by *every* run's epochs, understating the
+        // per-epoch rate. Suppress its line and print the honest ratio
+        // over the probed epochs only.
+        let allocs = report.epoch_allocs.take().unwrap_or(0);
+        let per = if agg.alloc_epochs == 0 {
+            0.0
+        } else {
+            allocs as f64 / agg.alloc_epochs as f64
+        };
+        alloc_note = format!(
+            "  allocs: {} over {} probed epochs in {}/{} runs (allocs/epoch={:.1})\n",
+            allocs, agg.alloc_epochs, agg.alloc_runs, agg.runs, per
+        );
+    }
     Some(format!(
-        "== perf (aggregated over {} simulation runs) ==\n{}",
+        "== perf (aggregated over {} simulation runs) ==\n{}{}",
         agg.runs,
-        agg.report.render()
+        report.render(),
+        alloc_note
     ))
 }
 
@@ -95,12 +132,19 @@ pub fn summary() -> Option<String> {
 mod tests {
     use super::*;
 
-    // Note: the switch and aggregate are process-global, so these tests
-    // only exercise pure accumulation, not enable() (which would leak
-    // into sibling tests running in the same process).
+    // The switch and aggregate are process-global, so the whole
+    // lifecycle lives in ONE test: parallel sibling tests calling
+    // reset()/record() would race each other on the shared AGG. The
+    // test never calls enable() (which would leak instrumentation into
+    // every other test sharing the process).
 
     #[test]
-    fn record_accumulates_runs_and_counters() {
+    fn aggregate_lifecycle_accumulates_resets_and_reports_partial_probes() {
+        reset();
+        assert!(snapshot().is_none(), "reset leaves no aggregate");
+        assert!(summary().is_none());
+
+        // Two identical probe-less runs accumulate.
         let mut r = PerfReport::default();
         r.events[1] = 5;
         r.ns[1] = 500;
@@ -111,10 +155,46 @@ mod tests {
         record(&r);
         record(&r);
         let agg = snapshot().expect("aggregate exists");
-        assert!(agg.runs >= 2);
-        assert!(agg.report.events[1] >= 10);
-        assert!(agg.report.queue.popped >= 10);
-        assert!(agg.report.queue.heap_high_water >= 7);
+        assert_eq!(agg.runs, 2);
+        assert_eq!(agg.alloc_runs, 0);
+        assert_eq!(agg.report.events[1], 10);
+        assert_eq!(agg.report.queue.popped, 10);
+        assert_eq!(agg.report.queue.heap_high_water, 7);
         assert!(summary().expect("non-empty").contains("dispatch"));
+
+        // A third, probed run: allocation coverage is now partial, so
+        // the summary must report the rate over probed epochs only
+        // (120 allocs / 3 probed epochs = 40), not the diluted
+        // 120 / 7 ≈ 17 that folding into one report would suggest.
+        let mut probed = r.clone();
+        probed.control_epochs = 3;
+        probed.epoch_allocs = Some(120);
+        record(&probed);
+        let agg = snapshot().expect("aggregate exists");
+        assert_eq!(agg.runs, 3);
+        assert_eq!(agg.alloc_runs, 1);
+        assert_eq!(agg.alloc_epochs, 3);
+        assert_eq!(agg.report.epoch_allocs, Some(120));
+        let s = summary().expect("non-empty");
+        assert!(
+            s.contains("allocs: 120 over 3 probed epochs in 1/3 runs (allocs/epoch=40.0)"),
+            "partial-probe line missing or dishonest:\n{s}"
+        );
+        assert!(
+            !s.contains("allocs/epoch=17"),
+            "diluted ratio leaked into the summary:\n{s}"
+        );
+
+        // Full coverage: render()'s own ratio is already honest, so no
+        // extra note appears.
+        reset();
+        record(&probed);
+        let s = summary().expect("non-empty");
+        assert!(s.contains("allocs/epoch=40.0"), "{s}");
+        assert!(!s.contains("probed epochs in"), "{s}");
+
+        // And a batch restart starts the count from zero again.
+        reset();
+        assert!(snapshot().is_none());
     }
 }

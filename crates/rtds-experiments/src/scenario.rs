@@ -6,6 +6,9 @@
 //! load. [`run_scenario`] builds the cluster, runs it, and reduces the
 //! result to the four paper metrics plus the combined metric.
 
+use std::sync::{Arc, Mutex};
+
+use rtds_arm::audit::DecisionRecord;
 use rtds_arm::config::ArmConfig;
 use rtds_arm::manager::ResourceManager;
 use rtds_arm::metrics::{combined_breakdown, CombinedBreakdown};
@@ -18,7 +21,9 @@ use rtds_sim::load::PoissonLoad;
 use rtds_sim::metrics::{RunMetrics, RunSummary};
 use rtds_sim::net::JamWindow;
 use rtds_sim::sched::SchedulerKind;
+use rtds_sim::sink::BoundedSink;
 use rtds_sim::time::{SimDuration, SimTime};
+use rtds_sim::trace::TraceSink;
 use rtds_workloads::{
     Burst, DecreasingRamp, IncreasingRamp, Pattern, RandomWalk, Sinusoid, Step,
     Triangular, WorkloadRange,
@@ -162,6 +167,40 @@ pub struct ScenarioConfig {
     /// which case the run is byte-identical to a scenario without the
     /// field.
     pub faults: FaultPlan,
+    /// Observability sinks: event trace and decision audit. Defaults to
+    /// everything off; enabling them never changes simulation outcomes
+    /// (zero observer effect), it only fills [`ScenarioResult::trace`]
+    /// and [`ScenarioResult::decisions`].
+    pub observe: ObserveConfig,
+}
+
+/// Opt-in observability for one scenario run. Everything defaults to off;
+/// each knob only *collects* data — decisions, placements, metrics, and
+/// figures are identical with or without it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ObserveConfig {
+    /// Capacity of the in-memory [`TraceSink`] (ordinary events beyond it
+    /// are dropped; failure-class events are always kept). `None`
+    /// disables tracing entirely.
+    pub trace_capacity: Option<usize>,
+    /// Collect a [`DecisionRecord`] stream from the resource manager
+    /// explaining every replicate / shut-down / no-op choice.
+    pub decisions: bool,
+}
+
+impl ObserveConfig {
+    /// Trace capacity used by [`ObserveConfig::full`] — generous enough
+    /// for any paper-scale run without risking unbounded growth.
+    pub const FULL_TRACE_CAPACITY: usize = 1 << 16;
+
+    /// Everything on: bounded trace plus decision audit.
+    pub fn full() -> Self {
+        ObserveConfig {
+            trace_capacity: Some(Self::FULL_TRACE_CAPACITY),
+            decisions: true,
+        }
+    }
 }
 
 /// Declarative failure-realism configuration for a scenario: the knobs of
@@ -220,6 +259,7 @@ impl ScenarioConfig {
             online_refinement: false,
             failures: Vec::new(),
             faults: FaultPlan::default(),
+            observe: ObserveConfig::default(),
         }
     }
 }
@@ -235,6 +275,12 @@ pub struct ScenarioResult {
     pub metrics: RunMetrics,
     /// Policy that ran.
     pub policy: &'static str,
+    /// Event trace, when [`ObserveConfig::trace_capacity`] was set.
+    pub trace: Option<TraceSink>,
+    /// Decision-audit records in emission order, when
+    /// [`ObserveConfig::decisions`] was set (always empty for
+    /// [`PolicySpec::None`], which makes no decisions).
+    pub decisions: Vec<(SimTime, DecisionRecord)>,
 }
 
 /// Indices of the replicable stages, for summarization.
@@ -273,28 +319,38 @@ pub fn run_scenario(cfg: &ScenarioConfig, predictor: &Predictor) -> ScenarioResu
         }
     }
 
+    if let Some(capacity) = cfg.observe.trace_capacity {
+        cluster.enable_trace(capacity);
+    }
+    // The decision sink is shared: the manager (consumed by the cluster)
+    // records through one handle; this function drains the other after
+    // the run has dropped the manager.
+    let decision_sink = (cfg.observe.decisions && cfg.policy != PolicySpec::None).then(|| {
+        Arc::new(Mutex::new(BoundedSink::<DecisionRecord>::bounded(
+            ObserveConfig::FULL_TRACE_CAPACITY,
+        )))
+    });
+
     let arm_config = |mut c: ArmConfig| {
         c.online_refinement = cfg.online_refinement;
         c
     };
+    let manager_for = |c: ArmConfig| {
+        let mut m = ResourceManager::new(arm_config(c), predictor.clone());
+        if let Some(sink) = &decision_sink {
+            m.set_decision_sink(Box::new(Arc::clone(sink)));
+        }
+        m
+    };
     match cfg.policy {
         PolicySpec::Predictive => {
-            cluster.set_controller(Box::new(ResourceManager::new(
-                arm_config(ArmConfig::paper_predictive()),
-                predictor.clone(),
-            )));
+            cluster.set_controller(Box::new(manager_for(ArmConfig::paper_predictive())));
         }
         PolicySpec::NonPredictive => {
-            cluster.set_controller(Box::new(ResourceManager::new(
-                arm_config(ArmConfig::paper_nonpredictive()),
-                predictor.clone(),
-            )));
+            cluster.set_controller(Box::new(manager_for(ArmConfig::paper_nonpredictive())));
         }
         PolicySpec::Incremental => {
-            cluster.set_controller(Box::new(ResourceManager::new(
-                arm_config(ArmConfig::incremental()),
-                predictor.clone(),
-            )));
+            cluster.set_controller(Box::new(manager_for(ArmConfig::incremental())));
         }
         PolicySpec::None => {}
     }
@@ -321,11 +377,26 @@ pub fn run_scenario(cfg: &ScenarioConfig, predictor: &Predictor) -> ScenarioResu
         .metrics
         .summarize(&replicable_stage_indices());
     let breakdown = combined_breakdown(&summary, 6);
+    // `run` consumed the cluster and with it the manager, so this is the
+    // last handle to the decision sink.
+    let decisions = decision_sink
+        .map(|sink| {
+            Arc::try_unwrap(sink)
+                .map(|m| {
+                    m.into_inner()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .into_events()
+                })
+                .unwrap_or_default()
+        })
+        .unwrap_or_default();
     ScenarioResult {
         summary,
         breakdown,
         metrics: outcome.metrics,
         policy: cfg.policy.name(),
+        trace: outcome.trace,
+        decisions,
     }
 }
 

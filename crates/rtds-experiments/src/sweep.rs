@@ -12,7 +12,9 @@
 use std::sync::Mutex;
 
 use rtds_arm::predictor::Predictor;
-use crate::scenario::{run_scenario, FaultPlan, PatternSpec, PolicySpec, ScenarioConfig};
+use crate::scenario::{
+    run_scenario, FaultPlan, ObserveConfig, PatternSpec, PolicySpec, ScenarioConfig,
+};
 use rtds_workloads::WorkloadRange;
 
 /// Tracks per scale unit on every figure's x-axis ("1 scale unit = 500
@@ -66,6 +68,11 @@ pub struct SweepConfig {
     /// Failure-realism plan applied identically to every point (default:
     /// everything off — the clean-network headline sweeps).
     pub faults: FaultPlan,
+    /// Observability sinks applied to every point (default: off). Sweep
+    /// points only keep the aggregate numbers, so this is useful purely
+    /// to prove the observer effect is zero — the per-run payloads are
+    /// dropped.
+    pub observe: ObserveConfig,
 }
 
 impl SweepConfig {
@@ -82,6 +89,7 @@ impl SweepConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             faults: FaultPlan::default(),
+            observe: ObserveConfig::default(),
         }
     }
 
@@ -97,7 +105,26 @@ impl SweepConfig {
 }
 
 /// Runs the sweep. Results are ordered by (unit, policy order as given).
+///
+/// If any point panics, the sweep stops handing out new work and re-raises
+/// the **first** panic's original payload from the calling thread. (The
+/// naive `.expect("poisoned")` alternative would replace the real failure
+/// message with a generic "a scoped thread panicked" — `std::thread::scope`
+/// swallows spawned-thread payloads — and then panic a second time on the
+/// poisoned results lock, burying the root cause.)
 pub fn run_sweep(cfg: &SweepConfig, predictor: &Predictor) -> Vec<SweepPoint> {
+    run_sweep_with(cfg, |units, policy| run_point(cfg, units, policy, predictor))
+}
+
+/// Sweep engine, parameterized over the per-point runner so tests can
+/// inject failures.
+fn run_sweep_with<F>(cfg: &SweepConfig, run: F) -> Vec<SweepPoint>
+where
+    F: Fn(u64, PolicySpec) -> SweepPoint + Sync,
+{
+    use std::panic::AssertUnwindSafe;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
     assert!(!cfg.units.is_empty() && !cfg.policies.is_empty(), "empty sweep");
     let mut jobs: Vec<(usize, u64, PolicySpec)> = Vec::new();
     for &u in &cfg.units {
@@ -106,24 +133,50 @@ pub fn run_sweep(cfg: &SweepConfig, predictor: &Predictor) -> Vec<SweepPoint> {
         }
     }
     let results: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
     let threads = cfg.threads.clamp(1, jobs.len());
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
                 let (order, units, policy) = jobs[i];
-                let point = run_point(cfg, units, policy, predictor);
-                results.lock().expect("sweep results poisoned").push((order, point));
+                // Catch the panic here rather than letting it unwind
+                // through the scope: we keep the original payload, and no
+                // lock is ever poisoned by an unwinding worker.
+                match std::panic::catch_unwind(AssertUnwindSafe(|| run(units, policy))) {
+                    Ok(point) => {
+                        results
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push((order, point));
+                    }
+                    Err(payload) => {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        break;
+                    }
+                }
             });
         }
     });
 
-    let mut out = results.into_inner().expect("sweep results poisoned");
+    if let Some(payload) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        std::panic::resume_unwind(payload);
+    }
+
+    let mut out = results.into_inner().unwrap_or_else(|e| e.into_inner());
     out.sort_by_key(|(order, _)| *order);
     out.into_iter().map(|(_, p)| p).collect()
 }
@@ -146,6 +199,7 @@ fn run_point(
         online_refinement: false,
         failures: Vec::new(),
         faults: cfg.faults.clone(),
+        observe: cfg.observe,
     };
     let started = std::time::Instant::now();
     let r = run_scenario(&scenario, predictor);
@@ -287,6 +341,56 @@ mod tests {
         let pts = run_sweep(&cfg, &quick_predictor());
         assert_eq!(points_for(&pts, PolicySpec::Predictive).len(), 1);
         assert_eq!(points_for(&pts, PolicySpec::NonPredictive).len(), 1);
+    }
+
+    #[test]
+    fn sweep_panic_propagates_original_payload_once() {
+        // Regression: a panicking point used to surface as the generic
+        // "a scoped thread panicked" (scope swallows worker payloads),
+        // immediately followed by a second panic from the poisoned
+        // results lock. The sweep must instead re-raise the original
+        // payload, exactly once.
+        let mut cfg = SweepConfig::quick(PatternSpec::Triangular { half_period: 10 });
+        cfg.units = vec![2, 4, 6, 8];
+        cfg.threads = 4;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sweep_with(&cfg, |units, policy| {
+                if units == 4 {
+                    panic!("injected point failure at unit 4");
+                }
+                SweepPoint {
+                    units,
+                    policy,
+                    missed_pct: 0.0,
+                    cpu_pct: 0.0,
+                    net_pct: 0.0,
+                    avg_replicas: 1.0,
+                    combined: 0.0,
+                    placement_changes: 0,
+                    wall_ms: 1.0,
+                }
+            })
+        }))
+        .expect_err("sweep should re-raise the injected panic");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload should be the original &str, not a poison/scope wrapper");
+        assert_eq!(msg, "injected point failure at unit 4");
+    }
+
+    #[test]
+    fn observability_sinks_do_not_change_sweep_results() {
+        // The observer-effect guarantee at sweep granularity: enabling
+        // both sinks must leave every deterministic field byte-identical.
+        let mut cfg = SweepConfig::quick(PatternSpec::Triangular { half_period: 10 });
+        cfg.units = vec![4, 24];
+        cfg.n_periods = 20;
+        let p = quick_predictor();
+        let plain = run_sweep(&cfg, &p);
+        cfg.observe = ObserveConfig::full();
+        let observed = run_sweep(&cfg, &p);
+        assert_eq!(deterministic_csv(&plain), deterministic_csv(&observed));
     }
 
     #[test]

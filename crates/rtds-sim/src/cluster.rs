@@ -1412,6 +1412,7 @@ impl Cluster {
 
     fn finalize(&mut self, horizon: SimTime) {
         self.metrics.horizon = horizon.since(SimTime::ZERO);
+        self.metrics.forecast_residuals = self.controller.forecast_residuals();
         self.metrics.cpu_lifetime_util = self
             .nodes
             .iter()

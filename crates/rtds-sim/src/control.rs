@@ -142,6 +142,14 @@ pub trait Controller: Send {
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Predicted-vs-observed forecast residuals accumulated over the run,
+    /// harvested by the cluster at finalization into
+    /// [`crate::metrics::RunMetrics::forecast_residuals`]. Policies that
+    /// never forecast report nothing — the default.
+    fn forecast_residuals(&self) -> Vec<crate::metrics::ForecastResidualStat> {
+        Vec::new()
+    }
 }
 
 /// A controller that never adapts; the no-management baseline.

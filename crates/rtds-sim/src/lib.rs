@@ -71,6 +71,7 @@ pub mod perf;
 pub mod pipeline;
 pub mod rng;
 pub mod sched;
+pub mod sink;
 pub mod time;
 pub mod trace;
 
@@ -84,12 +85,15 @@ pub mod prelude {
     };
     pub use crate::ids::{JobId, LoadGenId, MsgId, NodeId, StageId, SubtaskIdx, TaskId};
     pub use crate::load::{LoadGenerator, PeriodicLoad, PoissonLoad};
-    pub use crate::metrics::{PeriodRecord, RunMetrics, RunSummary};
+    pub use crate::metrics::{
+        ForecastResidualStat, PeriodRecord, ResidualKind, RunMetrics, RunSummary,
+    };
     pub use crate::net::{BusConfig, SharedBus};
     pub use crate::perf::PerfReport;
     pub use crate::pipeline::{PolynomialCost, StageSpec, TaskSpec};
     pub use crate::rng::SimRng;
     pub use crate::sched::{CpuScheduler, SchedulerKind};
+    pub use crate::sink::{BoundedSink, EventSink, JsonlSink};
     pub use crate::trace::{TraceEvent, TraceSink};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -48,6 +48,94 @@ pub struct StageRecord {
     pub msg_ms: f64,
 }
 
+/// Which forecast a residual statistic grades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum ResidualKind {
+    /// Execution-latency forecast (the paper's Eq. (3) regression `eex`).
+    Exec,
+    /// Communication-delay forecast (Eqs. (4)–(6), `ecd`).
+    Comm,
+}
+
+/// Accumulated predicted-vs-observed residuals for one (task, stage,
+/// kind) forecast stream — how good the paper's Eq. (3)/(4) predictors
+/// actually were against what the simulator then measured.
+///
+/// Controllers that forecast (the predictive manager) fill these in
+/// during the run; [`RunMetrics::forecast_residuals`] carries them out.
+/// Policies that never forecast leave the list empty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ForecastResidualStat {
+    /// Owning task index.
+    pub task: u32,
+    /// Stage index within the pipeline.
+    pub stage: u32,
+    /// Which forecast this row grades.
+    pub kind: ResidualKind,
+    /// Observations accumulated.
+    pub count: u64,
+    /// Sum of |predicted − observed| in ms (mean = sum / count).
+    pub sum_abs_err_ms: f64,
+    /// Worst single absolute error, ms.
+    pub max_abs_err_ms: f64,
+    /// Sum of |predicted − observed| / observed over observations with
+    /// observed > 0 (for MAPE).
+    pub sum_abs_pct_err: f64,
+    /// Observations entering `sum_abs_pct_err` (observed > 0).
+    pub pct_count: u64,
+}
+
+impl ForecastResidualStat {
+    /// An empty accumulator for one forecast stream.
+    pub fn new(task: u32, stage: u32, kind: ResidualKind) -> Self {
+        ForecastResidualStat {
+            task,
+            stage,
+            kind,
+            count: 0,
+            sum_abs_err_ms: 0.0,
+            max_abs_err_ms: 0.0,
+            sum_abs_pct_err: 0.0,
+            pct_count: 0,
+        }
+    }
+
+    /// Folds in one predicted-vs-observed pair (both in ms).
+    pub fn observe(&mut self, predicted_ms: f64, observed_ms: f64) {
+        let err = (predicted_ms - observed_ms).abs();
+        self.count += 1;
+        self.sum_abs_err_ms += err;
+        if err > self.max_abs_err_ms {
+            self.max_abs_err_ms = err;
+        }
+        if observed_ms > 0.0 {
+            self.sum_abs_pct_err += err / observed_ms;
+            self.pct_count += 1;
+        }
+    }
+
+    /// Mean absolute error, ms; NaN with no observations.
+    pub fn mean_abs_err_ms(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum_abs_err_ms / self.count as f64
+        }
+    }
+
+    /// Mean absolute percentage error, percent; NaN with no observations
+    /// of positive observed latency.
+    pub fn mape_pct(&self) -> f64 {
+        if self.pct_count == 0 {
+            f64::NAN
+        } else {
+            100.0 * self.sum_abs_pct_err / self.pct_count as f64
+        }
+    }
+}
+
 /// Everything measured during one simulation run.
 #[derive(Debug, Clone, Default)]
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -90,6 +178,10 @@ pub struct RunMetrics {
     /// Per-stage latency records, one row per (instance, stage) of every
     /// completed instance.
     pub stage_records: Vec<StageRecord>,
+    /// Predicted-vs-observed forecast residuals per (task, stage, kind),
+    /// reported by the controller at finalization; empty for policies
+    /// that never forecast.
+    pub forecast_residuals: Vec<ForecastResidualStat>,
 }
 
 /// Aggregate summary over a run — the four per-figure metrics.
@@ -132,9 +224,15 @@ pub struct LatencyDistribution {
     pub n: usize,
 }
 
-/// Nearest-rank percentile of a sorted slice (q in [0, 1]).
+/// Nearest-rank percentile of a sorted slice (q in [0, 1]); NaN for an
+/// empty slice (there is no order statistic to report).
 fn percentile(sorted: &[f64], q: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
+    if sorted.is_empty() {
+        // The old `.clamp(1, sorted.len())` below panicked with
+        // "min > max" here — in release builds too, where the
+        // debug_assert that was meant to catch it is compiled out.
+        return f64::NAN;
+    }
     let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
     sorted[idx]
 }
@@ -402,6 +500,32 @@ mod tests {
         assert!((b[1].0 - 16.0).abs() < 1e-12);
         assert!((b[0].1 - 2.0).abs() < 1e-12);
         assert!(m.mean_stage_breakdown(7).is_empty());
+    }
+
+    #[test]
+    fn percentile_of_empty_slice_is_nan_not_panic() {
+        // Regression: `.clamp(1, sorted.len())` on an empty slice used to
+        // panic with "min > max" — in release builds too.
+        assert!(percentile(&[], 0.5).is_nan());
+        assert!(percentile(&[], 0.0).is_nan());
+        assert!(percentile(&[], 1.0).is_nan());
+        // Non-empty behavior unchanged.
+        assert_eq!(percentile(&[3.0], 0.99), 3.0);
+    }
+
+    #[test]
+    fn forecast_residual_stat_tracks_mean_max_and_mape() {
+        let mut s = ForecastResidualStat::new(0, 1, ResidualKind::Exec);
+        assert!(s.mean_abs_err_ms().is_nan());
+        assert!(s.mape_pct().is_nan());
+        s.observe(110.0, 100.0); // err 10, pct 10%
+        s.observe(80.0, 100.0); // err 20, pct 20%
+        s.observe(5.0, 0.0); // err 5, no pct contribution
+        assert_eq!(s.count, 3);
+        assert!((s.mean_abs_err_ms() - 35.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_abs_err_ms, 20.0);
+        assert_eq!(s.pct_count, 2);
+        assert!((s.mape_pct() - 15.0).abs() < 1e-9);
     }
 
     #[test]

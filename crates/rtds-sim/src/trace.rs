@@ -12,6 +12,7 @@ use crate::time::{SimDuration, SimTime};
 
 /// One traced state change.
 #[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
 pub enum TraceEvent {
     /// A period instance was released with this many tracks.
     Release {
@@ -97,8 +98,38 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// True for events that witness a failure or a lost deadline: sheds,
+    /// missed instances, node failures/restarts, and terminal message
+    /// losses. These are what post-mortems and tests care most about, so
+    /// a full [`TraceSink`] keeps them even past its capacity.
+    /// `Retransmit` and `MessageDuplicated` are *recovered* anomalies and
+    /// deliberately excluded — under a lossy bus they are high-volume and
+    /// would defeat the bound.
+    pub fn is_failure_class(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Shed { .. }
+                | TraceEvent::InstanceDone { missed: true, .. }
+                | TraceEvent::NodeFailed { .. }
+                | TraceEvent::NodeRestarted { .. }
+                | TraceEvent::MessageLost { .. }
+                | TraceEvent::MessageDropped { .. }
+        )
+    }
+}
+
 /// A bounded in-memory trace sink.
-#[derive(Debug, Default)]
+///
+/// Once `capacity` ordinary events have been recorded, further ordinary
+/// events are counted in [`TraceSink::dropped`] and discarded — newest
+/// first, since the buffer fills front-to-back. Failure-class events
+/// ([`TraceEvent::is_failure_class`]) are exempt from the bound: a crash
+/// or deadline miss at the end of a long run must not vanish because the
+/// buffer filled with routine releases hours earlier. Failure events are
+/// rare by nature (bounded by fault-plan entries and released instances,
+/// not by simulated time), so the memory bound stays effective.
+#[derive(Debug, Clone, Default)]
 pub struct TraceSink {
     events: Vec<(SimTime, TraceEvent)>,
     capacity: usize,
@@ -106,8 +137,9 @@ pub struct TraceSink {
 }
 
 impl TraceSink {
-    /// Creates a sink holding at most `capacity` events; further events
-    /// are counted but dropped (the run never OOMs because of tracing).
+    /// Creates a sink holding at most `capacity` ordinary events; further
+    /// ordinary events are counted but dropped (the run never OOMs
+    /// because of tracing). Failure-class events are always retained.
     pub fn bounded(capacity: usize) -> Self {
         assert!(capacity > 0, "zero-capacity trace sink");
         TraceSink {
@@ -119,7 +151,7 @@ impl TraceSink {
 
     /// Records an event at `now`.
     pub fn record(&mut self, now: SimTime, event: TraceEvent) {
-        if self.events.len() < self.capacity {
+        if self.events.len() < self.capacity || event.is_failure_class() {
             self.events.push((now, event));
         } else {
             self.dropped += 1;
@@ -172,9 +204,9 @@ impl TraceSink {
                     "{t} done      #{instance} {latency}{}",
                     if *missed { " MISSED" } else { "" }
                 ),
-                TraceEvent::Placement { stage, nodes } =>
-
-                    writeln!(out, "{t} placement {stage} -> {nodes:?}"),
+                TraceEvent::Placement { stage, nodes } => {
+                    writeln!(out, "{t} placement {stage} -> {nodes:?}")
+                }
                 TraceEvent::NodeFailed { node } => writeln!(out, "{t} FAILURE   {node}"),
                 TraceEvent::NodeRestarted { node } => writeln!(out, "{t} RESTART   {node}"),
                 TraceEvent::MessageLost { msg, dst } => {
@@ -191,6 +223,14 @@ impl TraceSink {
             let _ = writeln!(out, "({} further events dropped)", self.dropped);
         }
         out
+    }
+}
+
+/// The bounded trace sink is one concrete [`crate::sink::EventSink`];
+/// the JSONL writer in the same module is another.
+impl crate::sink::EventSink<TraceEvent> for TraceSink {
+    fn record(&mut self, now: SimTime, event: TraceEvent) {
+        TraceSink::record(self, now, event);
     }
 }
 
@@ -220,11 +260,44 @@ mod tests {
     fn bounded_sink_drops_overflow_without_losing_count() {
         let mut s = TraceSink::bounded(2);
         for i in 0..5 {
-            s.record(SimTime::from_millis(i), TraceEvent::Shed { instance: i });
+            s.record(SimTime::from_millis(i), TraceEvent::Release { instance: i, tracks: 1 });
         }
         assert_eq!(s.events().len(), 2);
         assert_eq!(s.dropped(), 3);
         assert!(s.render().contains("3 further events dropped"));
+    }
+
+    #[test]
+    fn full_sink_still_retains_failure_class_events() {
+        // Regression: a full sink used to drop the *newest* events
+        // unconditionally, so end-of-run failures — exactly what
+        // post-mortems need — vanished first.
+        let mut s = TraceSink::bounded(2);
+        for i in 0..4 {
+            s.record(SimTime::from_millis(i), TraceEvent::Release { instance: i, tracks: 1 });
+        }
+        s.record(SimTime::from_millis(10), TraceEvent::NodeFailed { node: NodeId(3) });
+        s.record(SimTime::from_millis(11), TraceEvent::Shed { instance: 9 });
+        s.record(
+            SimTime::from_millis(12),
+            TraceEvent::MessageLost { msg: MsgId(5), dst: NodeId(3) },
+        );
+        s.record(
+            SimTime::from_millis(13),
+            TraceEvent::InstanceDone {
+                instance: 9,
+                latency: SimDuration::from_millis(999),
+                missed: true,
+            },
+        );
+        // Recovered anomalies and routine events still respect the bound.
+        s.record(SimTime::from_millis(14), TraceEvent::Retransmit { msg: MsgId(6), attempt: 1 });
+        s.record(SimTime::from_millis(15), TraceEvent::Release { instance: 10, tracks: 1 });
+
+        let kept: Vec<&TraceEvent> = s.events().iter().map(|(_, e)| e).collect();
+        assert_eq!(kept.len(), 6, "2 ordinary + 4 failure-class:\n{}", s.render());
+        assert!(kept.iter().filter(|e| e.is_failure_class()).count() == 4);
+        assert_eq!(s.dropped(), 4); // 2 overflow releases + retransmit + last release
     }
 
     #[test]
