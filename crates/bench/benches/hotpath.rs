@@ -12,7 +12,7 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rtds_bench::{bench_predictor, bench_scenario};
+use rtds_bench::{bench_bg_heavy_scenario, bench_predictor, bench_scenario, run_large_cluster};
 use rtds_experiments::scenario::{run_scenario, PatternSpec, PolicySpec};
 use rtds_regression::RecursiveLeastSquares;
 use rtds_sim::event::EventQueue;
@@ -33,6 +33,33 @@ fn bench(c: &mut Criterion) {
             &cfg,
             |b, cfg| b.iter(|| run_scenario(std::hint::black_box(cfg), &predictor)),
         );
+    }
+
+    // Background-dominated evaluation run (45 % ambient load per node):
+    // the case the background-load fast path targets. The `off` variant
+    // is byte-identical but pays every BgPoll/boundary heap round-trip,
+    // so the gap between the two is the fast path's win.
+    for (name, fast) in [("bg_heavy", true), ("bg_heavy_no_ff", false)] {
+        let cfg = bench_bg_heavy_scenario(fast);
+        g.bench_with_input(
+            BenchmarkId::new("scenario_run", name),
+            &cfg,
+            |b, cfg| b.iter(|| run_scenario(std::hint::black_box(cfg), &predictor)),
+        );
+    }
+
+    // Large-cluster scaling: pure ambient load, event volume linear in
+    // node count. The fast path's advantage must *grow* with node count
+    // (compare 16 → 64 against their `no_ff` twins).
+    for n_nodes in [16usize, 64] {
+        for fast in [true, false] {
+            let name = format!("{n_nodes}x{}", if fast { "ff" } else { "no_ff" });
+            g.bench_with_input(
+                BenchmarkId::new("large_cluster", name),
+                &(n_nodes, fast),
+                |b, &(n, fast)| b.iter(|| run_large_cluster(std::hint::black_box(n), fast)),
+            );
+        }
     }
 
     // Cancellation-heavy queue churn: schedule 1k, cancel every other

@@ -12,6 +12,11 @@ use rtds_experiments::models::quick_predictor;
 use rtds_experiments::scenario::{
     FaultPlan, ObserveConfig, PatternSpec, PolicySpec, ScenarioConfig,
 };
+use rtds_sim::cluster::{Cluster, ClusterConfig};
+use rtds_sim::ids::{LoadGenId, NodeId};
+use rtds_sim::load::PoissonLoad;
+use rtds_sim::metrics::RunMetrics;
+use rtds_sim::time::SimDuration;
 use rtds_workloads::WorkloadRange;
 
 /// A short but representative evaluation scenario: 40 periods of the
@@ -29,7 +34,43 @@ pub fn bench_scenario(pattern: PatternSpec, policy: PolicySpec) -> ScenarioConfi
         failures: Vec::new(),
         faults: FaultPlan::default(),
         observe: ObserveConfig::default(),
+        bg_fast_path: true,
     }
+}
+
+/// A background-dominated variant of [`bench_scenario`]: same pipeline,
+/// but ambient load at 45 % per node, so `BgPoll`/background-dispatch
+/// volume dominates the event budget. This is the case the background
+/// fast path targets; benched with the fast path both on and off.
+pub fn bench_bg_heavy_scenario(bg_fast_path: bool) -> ScenarioConfig {
+    ScenarioConfig {
+        ambient_util: 0.45,
+        bg_fast_path,
+        ..bench_scenario(
+            PatternSpec::Triangular { half_period: 5 },
+            PolicySpec::Predictive,
+        )
+    }
+}
+
+/// Runs a pure ambient-load cluster of `n_nodes` (no application task):
+/// the large-cluster scaling case, where background event volume grows
+/// linearly with node count and every node is eligible for boundary
+/// elision. Returns the metrics so benches can keep the result live.
+pub fn run_large_cluster(n_nodes: usize, bg_fast_path: bool) -> RunMetrics {
+    let mut cfg = ClusterConfig::paper_baseline(0xC1_05E ^ n_nodes as u64, SimDuration::from_secs(20));
+    cfg.n_nodes = n_nodes;
+    cfg.bg_fast_path = bg_fast_path;
+    let mut cluster = Cluster::new(cfg);
+    for n in 0..n_nodes {
+        cluster.add_load(Box::new(PoissonLoad::with_utilization(
+            LoadGenId(n as u32),
+            NodeId(n as u32),
+            0.60,
+            SimDuration::from_millis(2),
+        )));
+    }
+    cluster.run().metrics
 }
 
 /// The predictor every bench shares (analytic: no profiling in the timed

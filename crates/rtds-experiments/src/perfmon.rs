@@ -83,6 +83,8 @@ pub fn record(r: &PerfReport) {
     agg.report.queue.heap_high_water =
         agg.report.queue.heap_high_water.max(r.queue.heap_high_water);
     agg.report.elided_dispatches += r.elided_dispatches;
+    agg.report.elided_bg_polls += r.elided_bg_polls;
+    agg.report.elided_bg_dispatches += r.elided_bg_dispatches;
     agg.report.control_epochs += r.control_epochs;
     agg.report.controller_ns += r.controller_ns;
     if let Some(a) = r.epoch_allocs {

@@ -172,6 +172,10 @@ pub struct ScenarioConfig {
     /// (zero observer effect), it only fills [`ScenarioResult::trace`]
     /// and [`ScenarioResult::decisions`].
     pub observe: ObserveConfig,
+    /// Background-load fast path (see `ClusterConfig::bg_fast_path`).
+    /// Byte-identical on or off; off (`--no-bg-ff`) exists for A/B
+    /// verification and debugging. Default: on.
+    pub bg_fast_path: bool,
 }
 
 /// Opt-in observability for one scenario run. Everything defaults to off;
@@ -260,6 +264,7 @@ impl ScenarioConfig {
             failures: Vec::new(),
             faults: FaultPlan::default(),
             observe: ObserveConfig::default(),
+            bg_fast_path: true,
         }
     }
 }
@@ -302,6 +307,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, predictor: &Predictor) -> ScenarioResu
     cluster_cfg.bus.dup_prob = cfg.faults.dup_prob;
     cluster_cfg.bus.retx_timeout_us = cfg.faults.retx_timeout_us;
     cluster_cfg.bus.jam = cfg.faults.jam;
+    cluster_cfg.bg_fast_path = cfg.bg_fast_path;
     let mut cluster = Cluster::new(cluster_cfg);
 
     let task = aaw_task();

@@ -73,6 +73,9 @@ pub struct SweepConfig {
     /// to prove the observer effect is zero — the per-run payloads are
     /// dropped.
     pub observe: ObserveConfig,
+    /// Background-load fast path (see `ScenarioConfig::bg_fast_path`).
+    /// Byte-identical on or off; default on.
+    pub bg_fast_path: bool,
 }
 
 impl SweepConfig {
@@ -90,6 +93,7 @@ impl SweepConfig {
                 .unwrap_or(1),
             faults: FaultPlan::default(),
             observe: ObserveConfig::default(),
+            bg_fast_path: true,
         }
     }
 
@@ -200,6 +204,7 @@ fn run_point(
         failures: Vec::new(),
         faults: cfg.faults.clone(),
         observe: cfg.observe,
+        bg_fast_path: cfg.bg_fast_path,
     };
     let started = std::time::Instant::now();
     let r = run_scenario(&scenario, predictor);

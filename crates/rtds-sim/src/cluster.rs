@@ -18,6 +18,7 @@ use crate::event::EventQueue;
 use crate::hashing::FxHashMap;
 use crate::ids::{JobId, MsgId, NodeId, StageId, SubtaskIdx, TaskId};
 use crate::job::{Job, JobKind};
+use crate::lane::{LaneHeap, LaneRef};
 use crate::load::LoadGenerator;
 use crate::metrics::{PeriodRecord, RunMetrics};
 use crate::net::{BusConfig, Message, MsgPayload, SendOutcome, SharedBus};
@@ -58,6 +59,14 @@ pub struct ClusterConfig {
     pub release_jitter_us: u64,
     /// Total simulated time.
     pub horizon: SimDuration,
+    /// Background-load fast path: carry ambient-load polls and the
+    /// dispatch boundaries of background-only nodes on virtual lanes
+    /// instead of heap events (see `docs/SIMULATOR.md`, "Background-load
+    /// fast path"). Byte-identical to the slow path by construction —
+    /// same RNG draws, same `(time, seq)` allocation — so this is an
+    /// escape hatch for debugging and A/B verification, not a semantic
+    /// knob. Default: enabled.
+    pub bg_fast_path: bool,
 }
 
 impl ClusterConfig {
@@ -73,6 +82,7 @@ impl ClusterConfig {
             max_in_flight: 4,
             release_jitter_us: 0,
             horizon,
+            bg_fast_path: true,
         }
     }
 }
@@ -201,8 +211,30 @@ pub struct Cluster {
     /// [`EventQueue::alloc_seq`]). An arrival at the node re-materializes
     /// the pending link as a real truncated dispatch.
     chains: Vec<Option<DispatchChain>>,
-    /// Number of `Some` entries in `chains`, to skip the scan when idle.
-    active_chains: usize,
+    /// Per-generator poll state. With the fast path on, `next` holds the
+    /// `(time, seq)` key of the next elided poll — the heap never sees a
+    /// `BgPoll`. In both modes `dormant` marks a generator whose poll
+    /// fired while its node was down; it is re-armed on restart.
+    polls: Vec<PollLane>,
+    /// Per-node elided dispatch boundary, used when the fast path is on
+    /// and the node runs *only* background jobs: the slice-end `Dispatch`
+    /// is carried here (key only, no heap event) and fired as a direct
+    /// handler call. A stage admission re-materializes it via
+    /// [`EventQueue::schedule_at_seq`] in its reserved tie-break slot.
+    /// Invariant: a node never has both a chain and a boundary.
+    bg_bounds: Vec<Option<(SimTime, u64)>>,
+    /// Per-node count of live application (stage) jobs — queued or
+    /// running. Zero means every job on the node is background load and
+    /// its dispatch boundaries are eligible for elision.
+    stage_jobs: Vec<u32>,
+    /// Lazy min-heap over all virtual lanes (chains, polls, boundaries);
+    /// replaces the per-event O(n_nodes) chain scan. Used in both modes:
+    /// the minimum is the same however it is found, so sharing the heap
+    /// keeps fast/slow paths byte-identical while making the lane lookup
+    /// O(log n) for large clusters.
+    lanes: LaneHeap,
+    /// Cached `config.bg_fast_path`.
+    bg_ff: bool,
     /// Instrumentation, present only when `enable_perf` was called. The
     /// hot loop pays a single branch per event when this is `None`.
     perf: Option<Box<PerfState>>,
@@ -241,6 +273,18 @@ struct DispatchChain {
     quantum: SimDuration,
 }
 
+/// Per-generator poll bookkeeping (see `Cluster::polls`).
+#[derive(Debug, Clone, Copy, Default)]
+struct PollLane {
+    /// Fast path: `(time, seq)` of the next elided poll; `None` when the
+    /// generator is retired (past horizon), dormant, or the slow path
+    /// owns the poll as a real heap event.
+    next: Option<(SimTime, u64)>,
+    /// The generator's node was down when its poll fired; no further
+    /// polls are armed until the node restarts.
+    dormant: bool,
+}
+
 impl Cluster {
     /// Builds an empty cluster (no tasks, no load, null controller).
     pub fn new(config: ClusterConfig) -> Self {
@@ -259,6 +303,7 @@ impl Cluster {
         let retx_enabled = config.bus.retx_timeout_us > 0;
         let dedup_enabled = retx_enabled || config.bus.dup_prob > 0.0;
         let n_nodes = config.n_nodes;
+        let bg_ff = config.bg_fast_path;
         Cluster {
             config,
             queue: EventQueue::with_capacity(1024),
@@ -288,7 +333,11 @@ impl Cluster {
             ctx_scratch: None,
             obs_scratch: Vec::new(),
             chains: vec![None; n_nodes],
-            active_chains: 0,
+            polls: Vec::new(),
+            bg_bounds: vec![None; n_nodes],
+            stage_jobs: vec![0; n_nodes],
+            lanes: LaneHeap::default(),
+            bg_ff,
             perf: None,
         }
     }
@@ -383,12 +432,22 @@ impl Cluster {
     }
 
     /// Attaches a background load generator.
+    ///
+    /// # Panics
+    /// Panics if the generator targets a nonexistent node or its
+    /// configuration fails [`LoadGenerator::validate`] (non-finite or
+    /// out-of-range utilization, degenerate intervals — anything that
+    /// could spin the event loop or silently skew the ambient load).
     pub fn add_load(&mut self, gen: Box<dyn LoadGenerator>) {
         assert!(
             gen.node().index() < self.config.n_nodes,
             "load generator targets nonexistent node"
         );
+        if let Err(e) = gen.validate() {
+            panic!("invalid load generator config: {e}");
+        }
         self.loadgens.push(gen);
+        self.polls.push(PollLane::default());
     }
 
     /// Installs the resource-management policy.
@@ -411,7 +470,16 @@ impl Cluster {
         }
         for g in 0..self.loadgens.len() {
             let at = self.loadgens[g].first_at(&mut self.rng);
-            self.queue.schedule(at, Ev::BgPoll { gen: g });
+            if self.bg_ff {
+                // Fast path: the poll lives on a virtual lane. Its seq is
+                // allocated exactly where the slow path would schedule it,
+                // so tie-breaking stays bit-identical.
+                let seq = self.queue.alloc_seq();
+                self.polls[g].next = Some((at, seq));
+                self.lanes.push(at, seq, LaneRef::Poll(g as u32));
+            } else {
+                self.queue.schedule(at, Ev::BgPoll { gen: g });
+            }
         }
         self.queue
             .schedule(SimTime::ZERO + self.config.sample_interval, Ev::Sample);
@@ -422,41 +490,108 @@ impl Cluster {
         if let Some(p) = self.perf.as_mut() {
             p.run_started = Some(std::time::Instant::now());
         }
+        // The queue's min key is re-read only when the queue has actually
+        // changed (its version ticks on every schedule/pop/cancel); long
+        // lane-only stretches — background-heavy phases — skip the heap
+        // peek entirely.
+        let mut queue_key: Option<(SimTime, u64)> = None;
+        let mut queue_ver = u64::MAX;
         loop {
             // The earliest pending work is the min over the real queue
-            // and the virtual chain links (elided lone-job dispatches);
-            // both carry a total `(time, seq)` order key.
-            let queue_key = self.queue.peek_key();
-            let chain_key = self.min_chain();
-            let (t, chain_node) = match (queue_key, chain_key) {
+            // and the virtual lanes (elided dispatches and polls); both
+            // carry a total `(time, seq)` order key.
+            if self.queue.version() != queue_ver {
+                queue_key = self.queue.peek_key();
+                queue_ver = self.queue.version();
+            }
+            let lane_key = self.peek_lane();
+            let (t, lane) = match (queue_key, lane_key) {
                 (None, None) => break,
-                (Some((qt, qs)), Some((ct, cs, i))) => {
-                    if (ct, cs) < (qt, qs) {
-                        (ct, Some(i))
+                (Some((qt, qs)), Some((lt, ls, l))) => {
+                    if (lt, ls) < (qt, qs) {
+                        (lt, Some(l))
                     } else {
                         (qt, None)
                     }
                 }
                 (Some((qt, _)), None) => (qt, None),
-                (None, Some((ct, _, i))) => (ct, Some(i)),
+                (None, Some((lt, _, l))) => (lt, Some(l)),
             };
             if t > horizon {
                 break;
             }
-            let (now, ev) = match chain_node {
-                Some(i) => {
+            let (now, ev) = match lane {
+                Some(LaneRef::Chain(i)) => {
+                    let i = i as usize;
                     let link = self.chains[i].expect("chain link exists");
                     if link.next_at < link.completion {
+                        // Intermediate link: rekeyed to the next link in
+                        // place — its heap entry is still the top. Then
+                        // burst: as long as the *next* link still
+                        // precedes every other pending key (queue min
+                        // and runner-up lane, neither of which moves
+                        // during an advance), fire it immediately
+                        // instead of re-entering the loop.
+                        let bound = match (queue_key, self.lanes.runner_up()) {
+                            (Some(q), Some(r)) => Some(q.min(r)),
+                            (Some(q), None) => Some(q),
+                            (None, r) => r,
+                        };
                         self.advance_chain(i);
+                        while let Some(l) = self.chains[i] {
+                            if l.next_at >= l.completion
+                                || l.next_at > horizon
+                                || bound.is_some_and(|b| (l.next_at, l.next_seq) >= b)
+                            {
+                                break;
+                            }
+                            self.advance_chain(i);
+                        }
                         continue;
                     }
                     // The chain's final link: the lone job's completion
                     // dispatch, fired as a direct handler call with no
                     // heap round-trip.
+                    self.lanes.pop();
                     self.chains[i] = None;
-                    self.active_chains -= 1;
                     self.queue.advance_now(link.next_at);
-                    (link.next_at, Ev::Dispatch { node: self.nodes[i].id })
+                    let node = self.nodes[i].id;
+                    if self.bg_ff && self.stage_jobs[i] == 0 {
+                        // Background-only completion: the whole dispatch
+                        // round-trip leaves the event loop, not just the
+                        // heap traffic.
+                        if let Some(p) = self.perf.as_mut() {
+                            p.report.elided_bg_dispatches += 1;
+                        }
+                        self.on_dispatch(link.next_at, node);
+                        continue;
+                    }
+                    (link.next_at, Ev::Dispatch { node })
+                }
+                Some(LaneRef::Poll(g)) => {
+                    // Fired without popping: everything the handler can
+                    // push keys strictly after `t`, so the entry is still
+                    // the top afterwards and is rekeyed to the next poll
+                    // (or popped, if the generator retires).
+                    self.queue.advance_now(t);
+                    self.on_virtual_poll(t, g as usize);
+                    continue;
+                }
+                Some(LaneRef::Bound(i)) => {
+                    // A background-only node's slice boundary: the same
+                    // `Dispatch` the slow path pops from the heap, fired
+                    // directly through the unmodified handler — off the
+                    // event loop entirely (a live boundary implies the
+                    // node is still background-only).
+                    let i = i as usize;
+                    self.lanes.pop();
+                    self.bg_bounds[i] = None;
+                    self.queue.advance_now(t);
+                    if let Some(p) = self.perf.as_mut() {
+                        p.report.elided_bg_dispatches += 1;
+                    }
+                    self.on_dispatch(t, self.nodes[i].id);
+                    continue;
                 }
                 None => self.queue.pop().expect("peeked event exists"),
             };
@@ -519,9 +654,9 @@ impl Cluster {
         self.nodes[node.index()].alive = false;
         self.record_trace(now, TraceEvent::NodeFailed { node });
         let mut lost: Vec<JobId> = Vec::new();
-        if self.chains[node.index()].take().is_some() {
-            self.active_chains -= 1;
-        }
+        // Virtual lanes die with the node; their heap entries go stale.
+        self.chains[node.index()] = None;
+        self.bg_bounds[node.index()] = None;
         if let Some(running) = self.nodes[node.index()].running.take() {
             if let Some(h) = running.dispatch_handle {
                 self.queue.cancel(h);
@@ -591,6 +726,24 @@ impl Cluster {
         self.nodes[node.index()].restart(now);
         self.metrics.node_restarts += 1;
         self.record_trace(now, TraceEvent::NodeRestarted { node });
+        // Re-arm the node's background generators that went dormant while
+        // it was down: ambient load resumes with the node. A generator
+        // whose poll was still pending at restart (crash shorter than one
+        // interarrival gap) is not dormant and needs nothing — its poll
+        // fires normally. Index order keeps the re-arm deterministic.
+        for g in 0..self.loadgens.len() {
+            if self.loadgens[g].node() != node || !self.polls[g].dormant {
+                continue;
+            }
+            self.polls[g].dormant = false;
+            if self.bg_ff {
+                let seq = self.queue.alloc_seq();
+                self.polls[g].next = Some((now, seq));
+                self.lanes.push(now, seq, LaneRef::Poll(g as u32));
+            } else {
+                self.queue.schedule(now, Ev::BgPoll { gen: g });
+            }
+        }
     }
 
     /// The sender-side retransmit timer fired without an acknowledged
@@ -1115,19 +1268,69 @@ impl Cluster {
         );
     }
 
+    /// Slow-path poll (real `BgPoll` heap event): admit the arrival and
+    /// reschedule.
     fn on_bg_poll(&mut self, now: SimTime, gen: usize) {
+        if let Some(next_at) = self.poll_generator(now, gen) {
+            self.queue.schedule(next_at, Ev::BgPoll { gen });
+        }
+    }
+
+    /// Fast-path poll (virtual lane, no heap event): identical to
+    /// [`Self::on_bg_poll`] except the next poll's `(time, seq)` key is
+    /// reserved instead of scheduled. The seq allocation sits at the
+    /// exact program point of the slow path's `schedule` — after the
+    /// admission — so tie-breaking is bit-identical.
+    /// Fires an elided poll whose lane entry is still at the top of the
+    /// lane heap (the run loop peeks but does not pop). On re-arm the
+    /// entry is rekeyed in place — one sift instead of a pop + push;
+    /// when the generator retires (dormant or past the horizon) the
+    /// entry is popped.
+    fn on_virtual_poll(&mut self, now: SimTime, gen: usize) {
+        let (_, prev_seq) = self.polls[gen].next.take().expect("poll lane is armed");
+        match self.poll_generator(now, gen) {
+            Some(next_at) => {
+                let seq = self.queue.alloc_seq();
+                self.polls[gen].next = Some((next_at, seq));
+                self.lanes
+                    .rekey_top(prev_seq, next_at, seq, LaneRef::Poll(gen as u32));
+            }
+            None => {
+                self.lanes.pop();
+            }
+        }
+        if let Some(p) = self.perf.as_mut() {
+            p.report.elided_bg_polls += 1;
+        }
+    }
+
+    /// Common poll body: draw the generator (same RNG call, same program
+    /// point in both paths), admit the arrival, and return the next poll
+    /// time if one is due within the horizon. A poll that finds its node
+    /// down marks the generator dormant — no RNG draw, no reschedule —
+    /// until [`Self::on_node_restart`] re-arms it, so ambient load
+    /// survives crash–restart instead of silently vanishing.
+    fn poll_generator(&mut self, now: SimTime, gen: usize) -> Option<SimTime> {
         let node = self.loadgens[gen].node();
         if !self.nodes[node.index()].alive {
-            return; // generator dies with its node
+            self.polls[gen].dormant = true;
+            return None;
         }
         let arrival = self.loadgens[gen].arrive(now, &mut self.rng);
+        // A generator yielding `next_at <= now` would re-poll at the
+        // current instant forever and spin the event loop; this is a
+        // contract violation by the generator, not a simulation outcome.
+        assert!(
+            arrival.next_at > now,
+            "load generator {gen} scheduled its next arrival at {} <= now {now}; \
+             degenerate intervals would spin the event loop",
+            arrival.next_at,
+        );
         if !arrival.demand.is_zero() {
             let gid = crate::ids::LoadGenId(gen as u32);
             self.admit_job(now, node, JobKind::Background(gid), arrival.demand, 1);
         }
-        if arrival.next_at <= SimTime::ZERO + self.config.horizon {
-            self.queue.schedule(arrival.next_at, Ev::BgPoll { gen });
-        }
+        (arrival.next_at <= SimTime::ZERO + self.config.horizon).then_some(arrival.next_at)
     }
 
     fn on_clock_sync(&mut self, now: SimTime) {
@@ -1190,9 +1393,21 @@ impl Cluster {
         let id = JobId(slot);
         let job = Job::new(id, node, kind, demand, now).with_priority(priority);
         self.jobs[slot as usize] = Some(job);
-        // The running job (if chained) is no longer alone: its pending
-        // elided dispatch becomes a real truncated slice again.
-        self.truncate_chain(node);
+        if kind.is_stage() {
+            self.stage_jobs[node.index()] += 1;
+        }
+        if self.bg_ff && self.stage_jobs[node.index()] == 0 {
+            // Still background-only: the running job (if chained) is no
+            // longer alone, but its truncated slice boundary can stay
+            // virtual — same key, no heap event.
+            self.truncate_chain_to_bound(node);
+        } else {
+            // A stage job makes the node externally consequential: any
+            // elided boundary or chain link re-materializes as a real
+            // event in its reserved tie-break slot.
+            self.materialize_bound(node);
+            self.truncate_chain(node);
+        }
         self.nodes[node.index()].sched.enqueue(id, priority);
         self.try_dispatch(now, node);
     }
@@ -1202,8 +1417,11 @@ impl Cluster {
     #[inline]
     fn remove_job(&mut self, id: JobId) -> Option<Job> {
         let job = self.jobs[id.index()].take();
-        if job.is_some() {
+        if let Some(j) = &job {
             self.free_jobs.push(id.0);
+            if j.kind.is_stage() {
+                self.stage_jobs[j.node.index()] -= 1;
+            }
         }
         job
     }
@@ -1214,7 +1432,6 @@ impl Cluster {
     /// exactly as it would have without elision.
     fn truncate_chain(&mut self, node: NodeId) {
         if let Some(link) = self.chains[node.index()].take() {
-            self.active_chains -= 1;
             let h = self
                 .queue
                 .schedule_at_seq(link.next_at, link.next_seq, Ev::Dispatch { node });
@@ -1227,17 +1444,64 @@ impl Cluster {
         }
     }
 
-    /// The `(time, seq, node)` key of the earliest elided dispatch, if any.
-    #[inline]
-    fn min_chain(&self) -> Option<(SimTime, u64, usize)> {
-        if self.active_chains == 0 {
-            return None;
+    /// Like [`Self::truncate_chain`], but the truncated slice boundary
+    /// stays virtual: on a background-only node the dispatch at
+    /// `link.next_at` has no external observer, so its `(time, seq)` key
+    /// moves from the chain to the boundary lane instead of the heap.
+    /// The chain's heap entry goes stale; the key is unchanged, so event
+    /// order — and hence every RNG draw and output byte — is too.
+    fn truncate_chain_to_bound(&mut self, node: NodeId) {
+        if let Some(link) = self.chains[node.index()].take() {
+            self.bg_bounds[node.index()] = Some((link.next_at, link.next_seq));
+            self.lanes
+                .push(link.next_at, link.next_seq, LaneRef::Bound(node.index() as u32));
+            let r = self.nodes[node.index()]
+                .running
+                .as_mut()
+                .expect("chained node has a running job");
+            r.slice_end = link.next_at;
+            debug_assert!(r.dispatch_handle.is_none(), "chained node had a heap dispatch");
         }
-        self.chains
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.map(|l| (l.next_at, l.next_seq, i)))
-            .min()
+    }
+
+    /// Re-materializes a node's elided background slice boundary as a
+    /// real `Dispatch` in its reserved tie-break slot: a stage job was
+    /// admitted, so from here on the node's scheduling is externally
+    /// observable and runs on real events.
+    fn materialize_bound(&mut self, node: NodeId) {
+        if let Some((at, seq)) = self.bg_bounds[node.index()].take() {
+            let h = self.queue.schedule_at_seq(at, seq, Ev::Dispatch { node });
+            let r = self.nodes[node.index()]
+                .running
+                .as_mut()
+                .expect("bounded node has a running job");
+            debug_assert_eq!(r.slice_end, at, "boundary key drifted from the running slice");
+            r.dispatch_handle = Some(h);
+        }
+    }
+
+    /// The `(time, seq, lane)` key of the earliest live virtual lane, if
+    /// any. Stale heap entries — their lane was re-keyed or cancelled
+    /// since the push — are detected by seq mismatch (seqs are unique per
+    /// run) and discarded here.
+    #[inline]
+    fn peek_lane(&mut self) -> Option<(SimTime, u64, LaneRef)> {
+        loop {
+            let e = self.lanes.peek()?;
+            let live = match e.lane {
+                LaneRef::Chain(i) => self.chains[i as usize]
+                    .is_some_and(|l| l.next_seq == e.seq),
+                LaneRef::Poll(g) => self.polls[g as usize]
+                    .next
+                    .is_some_and(|(_, s)| s == e.seq),
+                LaneRef::Bound(i) => self.bg_bounds[i as usize]
+                    .is_some_and(|(_, s)| s == e.seq),
+            };
+            if live {
+                return Some((e.at, e.seq, e.lane));
+            }
+            self.lanes.pop();
+        }
     }
 
     /// Fires one elided intermediate dispatch. For the lone job this is a
@@ -1252,11 +1516,16 @@ impl Cluster {
         debug_assert!(link.next_at < link.completion, "final link fired as intermediate");
         self.queue.advance_now(link.next_at);
         let next = (link.next_at + link.quantum).min(link.completion);
+        let next_seq = self.queue.alloc_seq();
         self.chains[i] = Some(DispatchChain {
             next_at: next,
-            next_seq: self.queue.alloc_seq(),
+            next_seq,
             ..link
         });
+        // The fired link's entry is still the heap top (the run loop
+        // peeks, it does not pop): rekey it to the next link in place.
+        self.lanes
+            .rekey_top(link.next_seq, next, next_seq, LaneRef::Chain(i as u32));
         if let Some(p) = self.perf.as_mut() {
             p.report.elided_dispatches += 1;
         }
@@ -1281,6 +1550,10 @@ impl Cluster {
             job.first_dispatch = Some(now);
         }
         let remaining = job.remaining;
+        // Fast path, background-only node: the coming slice boundary has
+        // no external observer, so it is carried on the boundary lane
+        // instead of the heap (the chain arm below is already heap-free).
+        let bg_only = self.bg_ff && self.stage_jobs[node.index()] == 0;
         let (slice_end, handle) = match quantum {
             // A lone job spanning several quanta: every intermediate
             // dispatch would requeue into an empty queue and pick the
@@ -1289,22 +1562,32 @@ impl Cluster {
             // here; its sequence number is allocated right here.
             Some(q) if lone && remaining > q => {
                 let completion = now + remaining;
+                let next_at = now + q;
+                let next_seq = self.queue.alloc_seq();
                 self.chains[node.index()] = Some(DispatchChain {
-                    next_at: now + q,
-                    next_seq: self.queue.alloc_seq(),
+                    next_at,
+                    next_seq,
                     completion,
                     quantum: q,
                 });
-                self.active_chains += 1;
+                self.lanes.push(next_at, next_seq, LaneRef::Chain(node.index() as u32));
                 (completion, None)
             }
             Some(q) => {
                 let end = now + q.min(remaining);
-                (end, Some(self.queue.schedule(end, Ev::Dispatch { node })))
+                if bg_only {
+                    (end, self.elide_bound(end, node))
+                } else {
+                    (end, Some(self.queue.schedule(end, Ev::Dispatch { node })))
+                }
             }
             None => {
                 let end = now + remaining;
-                (end, Some(self.queue.schedule(end, Ev::Dispatch { node })))
+                if bg_only {
+                    (end, self.elide_bound(end, node))
+                } else {
+                    (end, Some(self.queue.schedule(end, Ev::Dispatch { node })))
+                }
             }
         };
         let n = &mut self.nodes[node.index()];
@@ -1315,6 +1598,18 @@ impl Cluster {
             dispatch_handle: handle,
         });
         n.begin_busy(now);
+    }
+
+    /// Arms the boundary lane for a background-only node's slice end and
+    /// returns the (absent) dispatch handle. The seq is allocated at the
+    /// exact program point where the slow path would `schedule`, keeping
+    /// tie-break order bit-identical.
+    #[inline]
+    fn elide_bound(&mut self, end: SimTime, node: NodeId) -> Option<crate::event::EventHandle> {
+        let seq = self.queue.alloc_seq();
+        self.bg_bounds[node.index()] = Some((end, seq));
+        self.lanes.push(end, seq, LaneRef::Bound(node.index() as u32));
+        None
     }
 
     fn run_controller(&mut self, now: SimTime) {
@@ -2078,6 +2373,149 @@ mod tests {
         assert_eq!(a.metrics.messages_duplicated, b.metrics.messages_duplicated);
         assert_eq!(a.metrics.retransmits, b.metrics.retransmits);
         assert_eq!(a.metrics.messages_lost, b.metrics.messages_lost);
+    }
+
+    /// Mean of node `n`'s sampled utilization over sample rows
+    /// `[from, to)` (rows land every 100 ms).
+    fn mean_util(out: &RunOutcome, node: usize, from: usize, to: usize) -> f64 {
+        let rows = &out.metrics.cpu_samples[from..to];
+        rows.iter().map(|r| r[node]).sum::<f64>() / rows.len() as f64
+    }
+
+    #[test]
+    fn background_load_resumes_after_crash_restart() {
+        // Regression for the dead-generator bug: `on_bg_poll` used to
+        // return without rescheduling when its node was down, so ambient
+        // load never came back after a crash–restart and post-restart
+        // slack was silently flattered. Utilization before the crash must
+        // match utilization after recovery, in both engine modes.
+        for fast in [true, false] {
+            let mut cfg = config(30);
+            cfg.bg_fast_path = fast;
+            let mut cl = Cluster::new(cfg);
+            cl.add_load(Box::new(PeriodicLoad::new(
+                crate::ids::LoadGenId(0),
+                NodeId(2),
+                SimDuration::from_millis(10),
+                0.42,
+            )));
+            cl.crash_node_at(
+                NodeId(2),
+                SimTime::from_secs(10),
+                Some(SimDuration::from_secs(2)),
+            );
+            let out = cl.run();
+            assert_eq!(out.metrics.node_restarts, 1);
+            // Rows land at 0.1 s, 0.2 s, …: row i covers (i*0.1, (i+1)*0.1].
+            let before = mean_util(&out, 2, 20, 95);
+            let outage = mean_util(&out, 2, 105, 115);
+            let after = mean_util(&out, 2, 145, 295);
+            assert!((before - 0.42).abs() < 0.02, "fast={fast} pre-crash {before}");
+            assert!(outage < 0.01, "fast={fast} outage utilization {outage}");
+            assert!(
+                (after - before).abs() < 0.02,
+                "fast={fast} ambient load must recover: before {before}, after {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn restart_before_pending_poll_does_not_double_arm() {
+        // A crash shorter than one inter-arrival gap: the generator's
+        // next poll is still pending at restart (never went dormant), so
+        // the restart must not arm a second poll stream. A doubled stream
+        // would double the imposed utilization.
+        for fast in [true, false] {
+            let mut cfg = config(30);
+            cfg.bg_fast_path = fast;
+            let mut cl = Cluster::new(cfg);
+            cl.add_load(Box::new(PeriodicLoad::new(
+                crate::ids::LoadGenId(0),
+                NodeId(1),
+                SimDuration::from_secs(2),
+                0.3,
+            )));
+            cl.crash_node_at(
+                NodeId(1),
+                SimTime::from_millis(10_100),
+                Some(SimDuration::from_millis(200)),
+            );
+            let out = cl.run();
+            let u = out.metrics.cpu_lifetime_util[1];
+            assert!(
+                (u - 0.3).abs() < 0.05,
+                "fast={fast} lifetime utilization {u} (doubled stream would approach 0.6)"
+            );
+        }
+    }
+
+    #[test]
+    fn bg_fast_path_is_byte_identical_to_slow_path() {
+        // The whole contract of the fast path: identical RNG draws at
+        // identical program points, identical `(time, seq)` allocation,
+        // identical metrics — through stage/background contention, a
+        // crash–restart, and a lossy duplicating bus.
+        let run = |fast: bool| {
+            let mut cfg = config(12);
+            cfg.bg_fast_path = fast;
+            cfg.bus.drop_prob = 0.15;
+            cfg.bus.dup_prob = 0.05;
+            cfg.bus.retx_timeout_us = 20_000;
+            let mut cl = Cluster::new(cfg);
+            cl.enable_trace(4096);
+            cl.add_task(
+                tiny_task(&[(2.0, false, 0), (3.0, false, 1)]),
+                Box::new(|i| 300 + 40 * i),
+            );
+            for n in [0u32, 1, 3] {
+                cl.add_load(Box::new(crate::load::PoissonLoad::with_utilization(
+                    crate::ids::LoadGenId(n),
+                    NodeId(n),
+                    0.35,
+                    SimDuration::from_millis(2),
+                )));
+            }
+            cl.crash_node_at(
+                NodeId(1),
+                SimTime::from_millis(4_200),
+                Some(SimDuration::from_secs(2)),
+            );
+            cl.run()
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(
+            format!("{:?}", on.metrics),
+            format!("{:?}", off.metrics),
+            "fast path must not change a single metric byte"
+        );
+        let render = |o: &RunOutcome| o.trace.as_ref().expect("trace enabled").render();
+        assert_eq!(render(&on), render(&off), "fast path must not change the trace");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid load generator config")]
+    fn add_load_validates_generator_configs() {
+        // A custom generator whose config slipped past any constructor
+        // checks (e.g. deserialized or arithmetically built): the engine
+        // rejects it at attach time via `LoadGenerator::validate`.
+        struct BadGen;
+        impl crate::load::LoadGenerator for BadGen {
+            fn node(&self) -> NodeId {
+                NodeId(0)
+            }
+            fn first_at(&self, _rng: &mut crate::rng::SimRng) -> SimTime {
+                SimTime::ZERO
+            }
+            fn arrive(&mut self, now: SimTime, _rng: &mut crate::rng::SimRng) -> crate::load::LoadArrival {
+                crate::load::LoadArrival { demand: SimDuration::ZERO, next_at: now }
+            }
+            fn target_utilization(&self) -> f64 {
+                f64::NAN
+            }
+        }
+        let mut cl = Cluster::new(config(1));
+        cl.add_load(Box::new(BadGen));
     }
 
     #[test]

@@ -344,6 +344,18 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// A monotone counter that advances on every operation that can
+    /// change the earliest pending key — schedule, pop, or cancel. A
+    /// caller that interleaves many non-queue events (virtual lanes) can
+    /// cache [`peek_key`](Self::peek_key)'s result and re-peek only when
+    /// the version has moved, skipping a heap access per iteration.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        // The stats counters already tick exactly once per mutating op,
+        // so their sum is a free version number.
+        self.stats.scheduled + self.stats.popped + self.stats.cancelled
+    }
+
     /// Number of live (pending, non-cancelled) entries.
     pub fn len(&self) -> usize {
         self.heap.len() - self.tombstones

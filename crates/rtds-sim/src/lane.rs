@@ -1,0 +1,187 @@
+//! Lazy min-heap over the engine's *virtual* event lanes.
+//!
+//! PR 1 introduced one virtual lane — the per-node dispatch chain — and
+//! found its minimum by scanning `chains` on every loop iteration. That
+//! scan is O(n_nodes) per event, which is invisible at the paper's 6
+//! nodes but dominates at the large-cluster scales the background-load
+//! fast path targets (64 nodes × one poll lane per generator). The
+//! [`LaneHeap`] replaces the scan: every lane key change pushes a heap
+//! entry, and stale entries (the lane was re-keyed, retired, or fired)
+//! are detected on peek by comparing sequence numbers — seqs are unique
+//! for the lifetime of a run, so `entry.seq == lane.seq` iff the entry
+//! is current.
+//!
+//! Stale entries only arise when a lane is cancelled or re-keyed out of
+//! band (chain truncation, boundary materialization, generator
+//! dormancy), all of which are rare mode transitions; the common path
+//! (arm → fire) pushes exactly one entry and pops it once.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Which virtual lane an entry refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum LaneRef {
+    /// `Cluster::chains[i]`: the elided quantum chain of a lone job.
+    Chain(u32),
+    /// `Cluster::polls[g]`: the elided next poll of a background
+    /// generator (fast path only).
+    Poll(u32),
+    /// `Cluster::bg_bounds[i]`: the elided dispatch boundary of a node
+    /// running only background work (fast path only).
+    Bound(u32),
+}
+
+/// One pending lane key. Ordered by `(at, seq)` like the real event
+/// queue; `lane` never participates in ordering because seqs are unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct LaneEntry {
+    /// When the lane fires.
+    pub at: SimTime,
+    /// The event-queue sequence number reserved for this firing.
+    pub seq: u64,
+    /// The lane that owns this key.
+    pub lane: LaneRef,
+}
+
+/// Min-heap of lane keys with lazy invalidation (see module docs).
+#[derive(Debug, Default)]
+pub(crate) struct LaneHeap {
+    heap: BinaryHeap<Reverse<LaneEntry>>,
+}
+
+impl LaneHeap {
+    /// Registers a lane's (new) key. Any previous entry for the same
+    /// lane becomes stale and is dropped on a later peek.
+    #[inline]
+    pub fn push(&mut self, at: SimTime, seq: u64, lane: LaneRef) {
+        self.heap.push(Reverse(LaneEntry { at, seq, lane }));
+    }
+
+    /// The earliest entry, without validation. The caller checks it
+    /// against the owning lane's current state and calls
+    /// [`Self::pop`] either to discard it as stale or to consume it.
+    #[inline]
+    pub fn peek(&self) -> Option<LaneEntry> {
+        self.heap.peek().map(|Reverse(e)| *e)
+    }
+
+    /// Removes the earliest entry.
+    #[inline]
+    pub fn pop(&mut self) -> Option<LaneEntry> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Replaces the earliest entry's key in place — one sift instead of
+    /// a pop + push pair. This is the self-reschedule shape of the two
+    /// hottest lanes (an intermediate chain link arming the next link, a
+    /// poll arming the next poll): the fired entry is still at the top —
+    /// anything the handler pushed is strictly later — so it can be
+    /// overwritten rather than removed and re-inserted.
+    ///
+    /// # Panics
+    /// Panics if the heap is empty. Debug-asserts that the displaced top
+    /// is `lane` under its previous key (`prev_seq`) and that the new
+    /// key does not precede it, both of which the rekey shape implies.
+    #[inline]
+    pub fn rekey_top(&mut self, prev_seq: u64, at: SimTime, seq: u64, lane: LaneRef) {
+        let mut top = self.heap.peek_mut().expect("rekey_top on empty lane heap");
+        debug_assert_eq!(
+            (top.0.seq, top.0.lane),
+            (prev_seq, lane),
+            "rekey_top displaced a live entry of another lane"
+        );
+        debug_assert!((at, seq) >= (top.0.at, top.0.seq), "rekey moved a lane backwards");
+        top.0 = LaneEntry { at, seq, lane };
+        // Dropping the PeekMut sifts the rewritten entry into place.
+    }
+
+    /// The smallest key among every entry *except* the top. In a binary
+    /// min-heap the runner-up is one of the root's two children, so this
+    /// is two slice reads. The result may belong to a stale entry, whose
+    /// key can only be older (smaller) than its lane's live key — safe
+    /// for bounding a burst of top-lane self-reschedules, which stops at
+    /// the bound rather than relying on it being live.
+    #[inline]
+    pub fn runner_up(&self) -> Option<(SimTime, u64)> {
+        let s = self.heap.as_slice();
+        match (s.get(1), s.get(2)) {
+            (Some(Reverse(a)), Some(Reverse(b))) => Some((a.at, a.seq).min((b.at, b.seq))),
+            (Some(Reverse(a)), None) => Some((a.at, a.seq)),
+            _ => None,
+        }
+    }
+
+    /// Number of entries, counting stale ones.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn orders_by_time_then_seq() {
+        let mut h = LaneHeap::default();
+        h.push(t(5), 10, LaneRef::Chain(0));
+        h.push(t(3), 99, LaneRef::Poll(1));
+        h.push(t(3), 7, LaneRef::Bound(2));
+        assert_eq!(h.pop().unwrap().lane, LaneRef::Bound(2));
+        assert_eq!(h.pop().unwrap().lane, LaneRef::Poll(1));
+        assert_eq!(h.pop().unwrap().lane, LaneRef::Chain(0));
+        assert!(h.pop().is_none());
+    }
+
+    #[test]
+    fn runner_up_is_the_second_smallest_key() {
+        let mut h = LaneHeap::default();
+        assert_eq!(h.runner_up(), None);
+        h.push(t(5), 3, LaneRef::Chain(0));
+        assert_eq!(h.runner_up(), None, "lone entry has no runner-up");
+        h.push(t(2), 9, LaneRef::Poll(1));
+        assert_eq!(h.runner_up(), Some((t(5), 3)));
+        h.push(t(3), 4, LaneRef::Bound(2));
+        assert_eq!(h.runner_up(), Some((t(3), 4)));
+        h.pop();
+        assert_eq!(h.runner_up(), Some((t(5), 3)));
+    }
+
+    #[test]
+    fn rekey_top_replaces_without_growing_the_heap() {
+        let mut h = LaneHeap::default();
+        h.push(t(1), 0, LaneRef::Poll(0));
+        h.push(t(5), 1, LaneRef::Chain(1));
+        // Poll 0 fires at t=1 and re-arms itself at t=8: same heap slot,
+        // new key, no stale residue.
+        h.rekey_top(0, t(8), 2, LaneRef::Poll(0));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.pop().unwrap().lane, LaneRef::Chain(1));
+        let e = h.pop().unwrap();
+        assert_eq!((e.at, e.seq, e.lane), (t(8), 2, LaneRef::Poll(0)));
+    }
+
+    #[test]
+    fn rekeyed_lane_leaves_a_stale_entry_behind() {
+        let mut h = LaneHeap::default();
+        h.push(t(4), 1, LaneRef::Poll(0));
+        // Lane 0 is re-keyed: seq 1 is now stale, seq 2 is current.
+        h.push(t(2), 2, LaneRef::Poll(0));
+        assert_eq!(h.len(), 2);
+        let head = h.peek().unwrap();
+        assert_eq!((head.at, head.seq), (t(2), 2));
+        h.pop();
+        // The stale entry surfaces next; a caller comparing seqs against
+        // the lane's current key would discard it.
+        assert_eq!(h.pop().unwrap().seq, 1);
+    }
+}

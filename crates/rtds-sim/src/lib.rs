@@ -63,6 +63,7 @@ pub mod event;
 pub mod hashing;
 pub mod ids;
 pub mod job;
+mod lane;
 pub mod load;
 pub mod metrics;
 pub mod net;

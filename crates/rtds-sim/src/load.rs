@@ -30,10 +30,34 @@ pub trait LoadGenerator: Send {
     fn first_at(&self, rng: &mut SimRng) -> SimTime;
 
     /// Produces the job arriving at `now` and schedules the next poll.
+    ///
+    /// Contract: the returned `next_at` must be strictly greater than
+    /// `now` — a degenerate (zero) interval would re-poll the generator
+    /// at the same instant forever and spin the event loop. The engine
+    /// asserts this on every poll.
     fn arrive(&mut self, now: SimTime, rng: &mut SimRng) -> LoadArrival;
 
     /// Long-run utilization this generator tries to impose, in `[0, 1]`.
     fn target_utilization(&self) -> f64;
+
+    /// Checks the generator's configuration before it is attached, in the
+    /// spirit of [`crate::net::BusConfig::validate`]: constructors catch
+    /// bad literals, but configs built from arithmetic or deserialized
+    /// values can smuggle in NaN/degenerate parameters that would stall
+    /// or spin the simulation. The default validates the target
+    /// utilization; implementations with interval parameters extend it.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violation.
+    fn validate(&self) -> Result<(), String> {
+        let u = self.target_utilization();
+        if !u.is_finite() || !(0.0..1.0).contains(&u) {
+            return Err(format!(
+                "target utilization must be finite and in [0, 1), got {u}"
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Deterministic duty-cycle load: every `interval`, a job of demand
@@ -104,6 +128,19 @@ impl LoadGenerator for PeriodicLoad {
 
     fn target_utilization(&self) -> f64 {
         self.utilization
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !self.utilization.is_finite() || !(0.0..1.0).contains(&self.utilization) {
+            return Err(format!(
+                "periodic load utilization must be finite and in [0, 1), got {}",
+                self.utilization
+            ));
+        }
+        if self.interval.is_zero() {
+            return Err("periodic load interval must be positive".into());
+        }
+        Ok(())
     }
 }
 
@@ -180,6 +217,22 @@ impl LoadGenerator for PoissonLoad {
     fn target_utilization(&self) -> f64 {
         self.mean_demand.as_secs_f64() / self.mean_interarrival.as_secs_f64()
     }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.mean_interarrival.is_zero() {
+            return Err("Poisson mean inter-arrival must be positive".into());
+        }
+        if self.mean_demand.is_zero() {
+            return Err("Poisson mean demand must be positive".into());
+        }
+        let rho = self.target_utilization();
+        if !rho.is_finite() || rho >= 1.0 {
+            return Err(format!(
+                "Poisson load would saturate the CPU (rho = {rho:.3})"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +306,45 @@ mod tests {
             SimDuration::from_millis(1),
             SimDuration::from_millis(2),
         );
+    }
+
+    #[test]
+    fn validate_accepts_constructor_built_generators() {
+        let p = PeriodicLoad::new(LoadGenId(0), NodeId(0), SimDuration::from_millis(10), 0.5);
+        assert!(p.validate().is_ok());
+        let q = PoissonLoad::with_utilization(
+            LoadGenId(1),
+            NodeId(1),
+            0.4,
+            SimDuration::from_millis(2),
+        );
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        // Field-level corruption the constructors cannot see (e.g. a
+        // deserialized or arithmetically-derived config).
+        let mut p = PeriodicLoad::new(LoadGenId(0), NodeId(0), SimDuration::from_millis(10), 0.5);
+        p.utilization = f64::NAN;
+        assert!(p.validate().unwrap_err().contains("finite"));
+        p.utilization = 0.5;
+        p.interval = SimDuration::ZERO;
+        assert!(p.validate().unwrap_err().contains("interval"));
+
+        let mut q = PoissonLoad::new(
+            LoadGenId(0),
+            NodeId(0),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(2),
+        );
+        q.mean_interarrival = SimDuration::ZERO;
+        assert!(q.validate().unwrap_err().contains("inter-arrival"));
+        q.mean_interarrival = SimDuration::from_millis(5);
+        q.mean_demand = SimDuration::from_millis(5);
+        assert!(q.validate().unwrap_err().contains("saturate"));
+        q.mean_demand = SimDuration::ZERO;
+        assert!(q.validate().unwrap_err().contains("demand"));
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct PerfReport {
     /// Per-quantum dispatch events elided by the virtual dispatch chain
     /// (lone jobs run without round-trips through the event heap).
     pub elided_dispatches: u64,
+    /// `BgPoll` events elided by the background-load fast path: polls
+    /// carried on virtual lanes instead of the event heap.
+    pub elided_bg_polls: u64,
+    /// Slice-boundary `Dispatch` events of background-only nodes elided
+    /// by the background-load fast path (fired as direct handler calls).
+    pub elided_bg_dispatches: u64,
     /// Heap allocations observed across all control epochs, if an
     /// allocation probe was supplied.
     pub epoch_allocs: Option<u64>,
@@ -107,6 +113,20 @@ impl PerfReport {
                 out,
                 "  {:<16} {:>12} {:>12} {:>10} (virtual chain, no heap round-trip)",
                 "dispatch-elided", self.elided_dispatches, "-", "-"
+            );
+        }
+        if self.elided_bg_polls > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>12} {:>12} {:>10} (bg fast path, no heap round-trip)",
+                "bg_poll-elided", self.elided_bg_polls, "-", "-"
+            );
+        }
+        if self.elided_bg_dispatches > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>12} {:>12} {:>10} (bg fast path, direct boundary fire)",
+                "bg_disp-elided", self.elided_bg_dispatches, "-", "-"
             );
         }
         let q = &self.queue;
@@ -172,6 +192,20 @@ mod tests {
         assert_eq!(r.allocs_per_epoch(), Some(2.0));
         r.control_epochs = 0;
         assert_eq!(r.allocs_per_epoch(), Some(0.0));
+    }
+
+    #[test]
+    fn render_shows_elision_counters_when_nonzero() {
+        let mut r = PerfReport::default();
+        let s = r.render();
+        assert!(!s.contains("bg_poll-elided"));
+        assert!(!s.contains("bg_disp-elided"));
+        r.elided_bg_polls = 42;
+        r.elided_bg_dispatches = 7;
+        let s = r.render();
+        assert!(s.contains("bg_poll-elided"), "missing bg poll line:\n{s}");
+        assert!(s.contains("42"));
+        assert!(s.contains("bg_disp-elided"), "missing bg dispatch line:\n{s}");
     }
 
     #[test]

@@ -21,6 +21,14 @@ use crate::time::SimDuration;
 ///
 /// The scheduler only orders job ids; the engine owns job state (remaining
 /// service time) and drives dispatch at quantum boundaries.
+///
+/// Implementations must be *deterministic functions of their call
+/// sequence* (`enqueue`/`pick`/`requeue` order): no clocks, no ambient
+/// randomness, no dependence on job-id values beyond equality. The engine
+/// elides provably-inert dispatch events (lone-job quantum chains, the
+/// background-load fast path) on the guarantee that replaying the same
+/// call sequence reproduces the same decisions — byte-identical fast/slow
+/// execution, and the `tests/golden/` contract, depend on it.
 pub trait CpuScheduler: Send {
     /// Admits a newly released job to the ready set.
     fn enqueue(&mut self, job: JobId, priority: u8);

@@ -31,6 +31,7 @@ fn main() {
         failures: Vec::new(),
         faults: FaultPlan::default(),
         observe: ObserveConfig::default(),
+        bg_fast_path: true,
     };
     let predictor = rtds::experiments::models::quick_predictor();
 

@@ -24,6 +24,7 @@ fn main() {
         failures: Vec::new(),
         faults: FaultPlan::default(),
         observe: ObserveConfig::default(),
+        bg_fast_path: true,
     };
 
     // The predictor normally comes from a profiling campaign
