@@ -10,7 +10,7 @@ use rtds_arm::eqf::EqfVariant;
 use rtds_arm::manager::ResourceManager;
 use rtds_bench::bench_predictor;
 use rtds_dynbench::app::aaw_task;
-use rtds_sim::cluster::{Cluster, ClusterConfig};
+use rtds_sim::cluster::{Cluster, ClusterApi, ClusterConfig};
 use rtds_sim::time::SimDuration;
 use rtds_workloads::{Pattern, Triangular, WorkloadRange};
 

@@ -12,7 +12,7 @@ use rtds_experiments::models::quick_predictor;
 use rtds_experiments::scenario::{
     FaultPlan, ObserveConfig, PatternSpec, PolicySpec, ScenarioConfig,
 };
-use rtds_sim::cluster::{Cluster, ClusterConfig};
+use rtds_sim::cluster::{Cluster, ClusterApi, ClusterConfig};
 use rtds_sim::ids::{LoadGenId, NodeId};
 use rtds_sim::load::PoissonLoad;
 use rtds_sim::metrics::RunMetrics;

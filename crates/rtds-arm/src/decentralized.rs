@@ -241,7 +241,7 @@ mod tests {
     use crate::predictor::analytic_predictor;
     use rtds_dynbench::app::{aaw_task, EVAL_DECIDE_STAGE, FILTER_STAGE};
     use rtds_regression::buffer::{BufferDelayModel, CommDelayModel};
-    use rtds_sim::cluster::{Cluster, ClusterConfig};
+    use rtds_sim::cluster::{Cluster, ClusterApi, ClusterConfig};
     use rtds_sim::clock::ClockConfig;
     use rtds_sim::load::PoissonLoad;
     use rtds_sim::time::SimTime;

@@ -17,7 +17,7 @@
 use rtds_regression::buffer::BufferDelaySample;
 use rtds_regression::model::LatencySample;
 use rtds_sim::clock::ClockConfig;
-use rtds_sim::cluster::{Cluster, ClusterConfig};
+use rtds_sim::cluster::{Cluster, ClusterApi, ClusterConfig};
 use rtds_sim::control::{ControlAction, ControlContext, Controller, PeriodObservation};
 use rtds_sim::ids::{LoadGenId, NodeId, SubtaskIdx, TaskId};
 use rtds_sim::load::PeriodicLoad;

@@ -1,18 +1,15 @@
 //! Runs the extension experiments beyond the paper's evaluation:
 //! survivability under node failures, multi-task management, online model
 //! refinement, scheduler sensitivity, and harsher workload patterns.
+
+use rtds_experiments::cli::RunOptions;
+use rtds_experiments::figures::extensions as ext;
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match rtds_experiments::cli::parse(&args) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    use rtds_experiments::figures::extensions as ext;
-    let o = &cli.options;
-    for fig in [
+    let opts = RunOptions::from_env();
+    opts.init_perfmon(None);
+    let o = &opts.options;
+    opts.emit_figures([
         ext::ext_survivability(o),
         ext::ext_multitask(o),
         ext::ext_online_refinement(o),
@@ -25,11 +22,6 @@ fn main() {
         ext::ext_metric_weights(o),
         ext::ext_forecast_value(o),
         ext::ext_decentralized(o),
-    ] {
-        println!("{}", fig.text);
-        if let Err(e) = fig.save_csvs(&o.out_dir) {
-            eprintln!("failed to write CSVs: {e}");
-            std::process::exit(1);
-        }
-    }
+    ]);
+    opts.finish();
 }

@@ -1,23 +1,16 @@
 //! Regenerates the paper's Fig. 13 (combined metric on both ramps).
 //! Pass `--extended` to sweep past the paper's 35-unit axis and observe
 //! the ranking fluctuation §5.2 describes.
+
+use rtds_experiments::cli::RunOptions;
+use rtds_experiments::figures::eval;
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match rtds_experiments::cli::parse(&args) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    for fig in [
-        rtds_experiments::figures::eval::fig13a(&cli.options, cli.extended),
-        rtds_experiments::figures::eval::fig13b(&cli.options, cli.extended),
-    ] {
-        println!("{}", fig.text);
-        if let Err(e) = fig.save_csvs(&cli.options.out_dir) {
-            eprintln!("failed to write CSVs: {e}");
-            std::process::exit(1);
-        }
-    }
+    let opts = RunOptions::from_env();
+    opts.init_perfmon(None);
+    opts.emit_figures([
+        eval::fig13a(&opts.options, opts.extended),
+        eval::fig13b(&opts.options, opts.extended),
+    ]);
+    opts.finish();
 }

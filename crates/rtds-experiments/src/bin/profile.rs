@@ -1,15 +1,11 @@
 //! Runs the full profiling campaign (the paper's §4.2.1 measurement step),
 //! fits every Eq. (3)/(5) model, and persists the raw samples plus fitted
 //! coefficients to `<out>/profile.json` for inspection and reuse.
+
+use rtds_experiments::cli::RunOptions;
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match rtds_experiments::cli::parse(&args) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
+    let opts = RunOptions::from_env();
     eprintln!("running the profiling campaign…");
     let data = rtds_experiments::models::run_campaign();
     for (stage, model) in &data.exec_models {
@@ -25,8 +21,8 @@ fn main() {
             b.stats.r2
         );
     }
-    std::fs::create_dir_all(&cli.options.out_dir).expect("create output dir");
-    let path = cli.options.out_dir.join("profile.json");
+    std::fs::create_dir_all(&opts.options.out_dir).expect("create output dir");
+    let path = opts.options.out_dir.join("profile.json");
     data.save(&path).expect("write profile");
     eprintln!("wrote {}", path.display());
 }

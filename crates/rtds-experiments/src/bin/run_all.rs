@@ -8,6 +8,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use rtds_experiments::cli::RunOptions;
+
 /// Wraps the system allocator with an allocation counter so `--perf` can
 /// report how many heap allocations the epoch hot path performs. The
 /// library crates are `#![forbid(unsafe_code)]`; a global allocator needs
@@ -40,22 +42,11 @@ fn allocation_count() -> u64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match rtds_experiments::cli::parse(&args) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    if cli.perf {
-        rtds_experiments::perfmon::enable(Some(allocation_count));
-    }
-    // The perf aggregate is process-global; start this batch from zero.
-    rtds_experiments::perfmon::reset();
+    let opts = RunOptions::from_env();
+    opts.init_perfmon(Some(allocation_count));
     use rtds_experiments::figures::{eval, patterns, profile, tables};
-    let o = &cli.options;
-    let figs = vec![
+    let o = &opts.options;
+    let report = opts.emit_figures([
         tables::table1(o),
         tables::table2(o),
         tables::table3(o),
@@ -67,38 +58,12 @@ fn main() {
         eval::fig10(o),
         eval::fig11(o),
         eval::fig12(o),
-        eval::fig13a(o, cli.extended),
-        eval::fig13b(o, cli.extended),
-    ];
-    let mut report = String::new();
-    for fig in figs {
-        println!("{}", fig.text);
-        report.push_str(&fig.text);
-        report.push('\n');
-        if let Err(e) = fig.save_csvs(&o.out_dir) {
-            eprintln!("failed to write CSVs: {e}");
-            std::process::exit(1);
-        }
-    }
+        eval::fig13a(o, opts.extended),
+        eval::fig13b(o, opts.extended),
+    ]);
     std::fs::create_dir_all(&o.out_dir).expect("create output dir");
     let report_path = o.out_dir.join("REPORT.txt");
     std::fs::write(&report_path, report).expect("write report");
-    if let Some(s) = rtds_experiments::perfmon::summary() {
-        println!("{s}");
-    }
-    match rtds_experiments::export::write_observed_probe(
-        cli.trace_out.as_deref(),
-        cli.decisions_out.as_deref(),
-    ) {
-        Ok(paths) => {
-            for p in paths {
-                eprintln!("wrote {}", p.display());
-            }
-        }
-        Err(e) => {
-            eprintln!("failed to write observability exports: {e}");
-            std::process::exit(1);
-        }
-    }
+    opts.finish();
     eprintln!("artifacts in {} (full text: {})", o.out_dir.display(), report_path.display());
 }

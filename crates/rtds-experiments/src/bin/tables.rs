@@ -1,23 +1,16 @@
 //! Regenerates the paper's Tables 1-3 (baseline parameters and fitted
 //! regression coefficients).
+
+use rtds_experiments::cli::RunOptions;
+use rtds_experiments::figures::tables;
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match rtds_experiments::cli::parse(&args) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    for fig in [
-        rtds_experiments::figures::tables::table1(&cli.options),
-        rtds_experiments::figures::tables::table2(&cli.options),
-        rtds_experiments::figures::tables::table3(&cli.options),
-    ] {
-        println!("{}", fig.text);
-        if let Err(e) = fig.save_csvs(&cli.options.out_dir) {
-            eprintln!("failed to write CSVs: {e}");
-            std::process::exit(1);
-        }
-    }
+    let opts = RunOptions::from_env();
+    opts.init_perfmon(None);
+    opts.emit_figures([
+        tables::table1(&opts.options),
+        tables::table2(&opts.options),
+        tables::table3(&opts.options),
+    ]);
+    opts.finish();
 }

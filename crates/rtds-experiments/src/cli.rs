@@ -1,17 +1,31 @@
-//! Minimal argument parsing shared by the figure binaries.
+//! Minimal argument parsing and run plumbing shared by the figure binaries.
 //!
 //! Flags: `--quick` (small grids), `--out <dir>` (CSV directory),
 //! `--threads <n>`, `--analytic` (skip profile fitting), `--extended`
 //! (fig13's longer workload axis). Kept hand-rolled: the dependency
 //! policy (DESIGN.md §5) admits no CLI crate and the needs are trivial.
+//!
+//! Every binary follows the same life cycle, provided here so none of
+//! them hand-roll it:
+//!
+//! 1. [`RunOptions::from_env`] — parse the command line (exit 2 + usage
+//!    on a bad flag);
+//! 2. [`RunOptions::init_perfmon`] — honor `--perf` and zero the
+//!    process-global perf aggregate;
+//! 3. [`RunOptions::emit_figures`] — print each figure and write its
+//!    CSVs (exit 1 on I/O error);
+//! 4. [`RunOptions::finish`] — print the perf summary and write the
+//!    `--trace-out` / `--decisions-out` exports.
+//!
+//! Single-figure binaries collapse all four into [`run_figure_main`].
 
 use std::path::PathBuf;
 
-use crate::figures::FigureOptions;
+use crate::figures::{FigureOptions, FigureOutput};
 
-/// Parsed command line.
+/// Parsed command line plus the shared run plumbing built on it.
 #[derive(Debug, Clone)]
-pub struct Cli {
+pub struct RunOptions {
     /// Figure options derived from flags.
     pub options: FigureOptions,
     /// `--extended` was passed.
@@ -31,7 +45,7 @@ pub struct Cli {
 ///
 /// # Errors
 /// Returns a usage string on unknown or malformed flags.
-pub fn parse(args: &[String]) -> Result<Cli, String> {
+pub fn parse(args: &[String]) -> Result<RunOptions, String> {
     let mut options = FigureOptions::default();
     let mut extended = false;
     let mut perf = false;
@@ -72,7 +86,87 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    Ok(Cli { options, extended, perf, trace_out, decisions_out })
+    Ok(RunOptions { options, extended, perf, trace_out, decisions_out })
+}
+
+impl RunOptions {
+    /// Parses the process command line, printing the usage string and
+    /// exiting with status 2 on a bad flag (the conventional
+    /// usage-error exit code).
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match parse(&args) {
+            Ok(c) => c,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Honors `--perf` and zeroes the perf aggregate. `alloc_probe`
+    /// feeds the report a process-wide allocation count; only `run_all`
+    /// has one (a counting global allocator needs `unsafe impl`, which
+    /// the library crates forbid).
+    ///
+    /// The aggregate is process-global, so it is reset unconditionally:
+    /// this batch starts from zero rather than folding into whatever a
+    /// previous batch left behind.
+    pub fn init_perfmon(&self, alloc_probe: Option<fn() -> u64>) {
+        if self.perf {
+            crate::perfmon::enable(alloc_probe);
+        }
+        crate::perfmon::reset();
+    }
+
+    /// Prints each figure's text to stdout and writes its CSVs under
+    /// `--out` (`wrote …` confirmations go to stderr; exit 1 on I/O
+    /// error). Returns the concatenated figure text, which `run_all`
+    /// persists as `REPORT.txt`.
+    pub fn emit_figures(&self, figs: impl IntoIterator<Item = FigureOutput>) -> String {
+        let mut report = String::new();
+        for fig in figs {
+            println!("{}", fig.text);
+            report.push_str(&fig.text);
+            report.push('\n');
+            match fig.save_csvs(&self.options.out_dir) {
+                Ok(paths) => {
+                    for p in paths {
+                        eprintln!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("failed to write CSVs: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        report
+    }
+
+    /// End-of-run plumbing: prints the aggregated perf summary (if
+    /// `--perf` instrumented this run) and writes the `--trace-out` /
+    /// `--decisions-out` exports (exit 1 on I/O error; a no-op when
+    /// neither flag was passed).
+    pub fn finish(&self) {
+        if let Some(s) = crate::perfmon::summary() {
+            println!("{s}");
+        }
+        match crate::export::write_observed_probe(
+            self.trace_out.as_deref(),
+            self.decisions_out.as_deref(),
+        ) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("failed to write observability exports: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// The usage string.
@@ -93,55 +187,17 @@ pub fn usage() -> String {
         .into()
 }
 
-/// Standard main-body for a figure binary: parse args, run, print, save.
+/// Standard main-body for a single-figure binary: the full
+/// [`RunOptions`] life cycle around one figure function.
 pub fn run_figure_main<F>(f: F)
 where
-    F: FnOnce(&Cli) -> crate::figures::FigureOutput,
+    F: FnOnce(&RunOptions) -> FigureOutput,
 {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match parse(&args) {
-        Ok(c) => c,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    if cli.perf {
-        crate::perfmon::enable(None);
-    }
-    // The perf aggregate is process-global; start this batch from zero
-    // rather than folding into whatever a previous batch left behind.
-    crate::perfmon::reset();
-    let fig = f(&cli);
-    println!("{}", fig.text);
-    if let Some(s) = crate::perfmon::summary() {
-        println!("{s}");
-    }
-    match fig.save_csvs(&cli.options.out_dir) {
-        Ok(paths) => {
-            for p in paths {
-                eprintln!("wrote {}", p.display());
-            }
-        }
-        Err(e) => {
-            eprintln!("failed to write CSVs: {e}");
-            std::process::exit(1);
-        }
-    }
-    match crate::export::write_observed_probe(
-        cli.trace_out.as_deref(),
-        cli.decisions_out.as_deref(),
-    ) {
-        Ok(paths) => {
-            for p in paths {
-                eprintln!("wrote {}", p.display());
-            }
-        }
-        Err(e) => {
-            eprintln!("failed to write observability exports: {e}");
-            std::process::exit(1);
-        }
-    }
+    let opts = RunOptions::from_env();
+    opts.init_perfmon(None);
+    let fig = f(&opts);
+    opts.emit_figures([fig]);
+    opts.finish();
 }
 
 #[cfg(test)]
@@ -201,5 +257,17 @@ mod tests {
         assert!(parse(&s(&["--trace-out"])).is_err());
         assert!(parse(&s(&["--decisions-out"])).is_err());
         assert!(usage().contains("--trace-out"));
+    }
+
+    #[test]
+    fn emit_figures_concatenates_the_report() {
+        let opts = parse(&s(&["--out", "/tmp/rtds-cli-test"])).unwrap();
+        let fig = FigureOutput {
+            id: "figtest",
+            title: "test",
+            text: "line".into(),
+            tables: Vec::new(),
+        };
+        assert_eq!(opts.emit_figures([fig]), "line\n");
     }
 }

@@ -16,7 +16,7 @@ use rtds_arm::manager::ResourceManager;
 use rtds_arm::metrics::combined_breakdown;
 use rtds_arm::predictive::ProcessorChoice;
 use rtds_dynbench::app::aaw_task;
-use rtds_sim::cluster::{Cluster, ClusterConfig};
+use rtds_sim::cluster::{Cluster, ClusterApi, ClusterConfig};
 use rtds_sim::ids::{LoadGenId, NodeId};
 use rtds_sim::load::PoissonLoad;
 use rtds_sim::time::SimDuration;

@@ -22,7 +22,7 @@ use rtds_arm::predictor::Predictor;
 use rtds_dynbench::app::{aaw_task, surveillance_task};
 use rtds_regression::buffer::{BufferDelayModel, CommDelayModel};
 use rtds_regression::model::ExecLatencyModel;
-use rtds_sim::cluster::{Cluster, ClusterConfig};
+use rtds_sim::cluster::{Cluster, ClusterApi, ClusterConfig};
 use rtds_sim::ids::{LoadGenId, NodeId, TaskId};
 use rtds_sim::load::PoissonLoad;
 use rtds_sim::sched::SchedulerKind;

@@ -15,7 +15,7 @@ use rtds_arm::metrics::{combined_breakdown, CombinedBreakdown};
 use rtds_arm::predictor::Predictor;
 use rtds_dynbench::app::{aaw_task, EVAL_DECIDE_STAGE, FILTER_STAGE};
 use rtds_sim::clock::ClockConfig;
-use rtds_sim::cluster::{Cluster, ClusterConfig};
+use rtds_sim::cluster::{Cluster, ClusterApi, ClusterConfig};
 use rtds_sim::ids::{LoadGenId, NodeId};
 use rtds_sim::load::PoissonLoad;
 use rtds_sim::metrics::{RunMetrics, RunSummary};

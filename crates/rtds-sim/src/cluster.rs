@@ -1,10 +1,19 @@
-//! The discrete-event simulation engine.
+//! The simulated distributed system: a thin composition root.
 //!
-//! [`Cluster`] binds the substrate together: homogeneous processor nodes
-//! running a CPU scheduler, a shared Ethernet segment, per-node clocks,
-//! background load generators, periodic pipeline tasks with replica
-//! fan-out/fan-in, and a pluggable [`Controller`] invoked at every period
-//! boundary — the execution environment of paper §3.
+//! [`Cluster`] binds the simulation kernel ([`crate::kernel::SimKernel`]:
+//! event queue, clocks, RNG, virtual lanes, metrics, observability hooks)
+//! to the engine components that implement the domain behavior — dispatch
+//! ([`crate::engine::DispatchEngine`]), network ([`crate::engine::NetEngine`]),
+//! faults ([`crate::engine::FaultEngine`]), background load
+//! ([`crate::engine::LoadEngine`]), and the task table
+//! ([`crate::engine::TaskTable`]) — the execution environment of paper §3.
+//! What remains here is composition: construction, the event loop, the
+//! period-boundary controller epoch, and finalization.
+//!
+//! Callers drive a cluster through the [`ClusterApi`] trait (in the
+//! prelude), which is the narrow seam between the resource-management
+//! layer and the simulator: controllers and experiment harnesses cannot
+//! reach simulator internals, only the API.
 //!
 //! The engine is deterministic: given the same [`ClusterConfig`] (including
 //! the seed), the same task specs, workload functions, and controller
@@ -12,27 +21,22 @@
 
 use std::sync::Arc;
 
-use crate::clock::{ClockConfig, ClockModel};
-use crate::control::{ControlAction, ControlContext, Controller, PeriodObservation, StageObservation};
-use crate::event::EventQueue;
-use crate::hashing::FxHashMap;
-use crate::ids::{JobId, MsgId, NodeId, StageId, SubtaskIdx, TaskId};
-use crate::job::{Job, JobKind};
-use crate::lane::{LaneHeap, LaneRef};
+use crate::clock::ClockConfig;
+use crate::control::{ControlAction, ControlContext, Controller, PeriodObservation};
+use crate::engine::{DispatchEngine, FaultEngine, LoadEngine, NetEngine, TaskTable};
+use crate::ids::{NodeId, StageId, SubtaskIdx, TaskId};
+use crate::kernel::{Ev, SimKernel};
+use crate::lane::LaneRef;
 use crate::load::LoadGenerator;
 use crate::metrics::{PeriodRecord, RunMetrics};
-use crate::net::{BusConfig, Message, MsgPayload, SendOutcome, SharedBus};
-use crate::node::{Node, Running};
+use crate::net::BusConfig;
 use crate::perf::{PerfReport, PerfState};
-use crate::pipeline::{split_tracks_into, InstanceState, TaskRuntime, TaskSpec};
-use crate::rng::SimRng;
+use crate::pipeline::{InstanceState, TaskSpec};
 use crate::sched::SchedulerKind;
-use crate::trace::{TraceEvent, TraceSink};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceSink};
 
-/// Per-period workload source: maps the period index to the number of data
-/// items (`ds(T_i, c)`) arriving in that period.
-pub type WorkloadFn = Box<dyn FnMut(u64) -> u64 + Send>;
+pub use crate::engine::tasks::WorkloadFn;
 
 /// Static configuration of a simulated cluster.
 #[derive(Debug, Clone)]
@@ -87,52 +91,6 @@ impl ClusterConfig {
     }
 }
 
-/// Events driving the simulation.
-enum Ev {
-    /// A new period of a task begins (data arrival).
-    PeriodRelease { task: TaskId, index: u64 },
-    /// A node's CPU slice ends.
-    Dispatch { node: NodeId },
-    /// A background generator produces its next job.
-    BgPoll { gen: usize },
-    /// The message on the wire finishes transmitting.
-    TxComplete,
-    /// A message reaches its destination.
-    Deliver { msg: MsgId },
-    /// Clock-synchronization round.
-    ClockSync,
-    /// Utilization sampling tick.
-    Sample,
-    /// Fault injection: a node dies permanently.
-    NodeFail { node: NodeId },
-    /// Fault injection: a node crashes (like `NodeFail`, but its in-flight
-    /// bus traffic is torn down and it may restart later).
-    NodeCrash { node: NodeId },
-    /// A crashed node comes back online with cold caches.
-    NodeRestart { node: NodeId },
-    /// Sender-side retransmit timer for the original message `orig` fired.
-    RetxTimeout { orig: MsgId },
-}
-
-impl Ev {
-    /// Index into [`crate::perf::PHASE_NAMES`] for the perf breakdown.
-    fn kind_index(&self) -> usize {
-        match self {
-            Ev::PeriodRelease { .. } => 0,
-            Ev::Dispatch { .. } => 1,
-            Ev::BgPoll { .. } => 2,
-            Ev::TxComplete => 3,
-            Ev::Deliver { .. } => 4,
-            Ev::ClockSync => 5,
-            Ev::Sample => 6,
-            Ev::NodeFail { .. } => 7,
-            Ev::NodeCrash { .. } => 8,
-            Ev::NodeRestart { .. } => 9,
-            Ev::RetxTimeout { .. } => 10,
-        }
-    }
-}
-
 /// Outcome of a completed run.
 pub struct RunOutcome {
     /// Everything measured.
@@ -145,215 +103,46 @@ pub struct RunOutcome {
     pub perf: Option<PerfReport>,
 }
 
-/// The simulated distributed system.
-pub struct Cluster {
-    config: ClusterConfig,
-    queue: EventQueue<Ev>,
-    nodes: Vec<Node>,
-    bus: SharedBus,
-    clocks: ClockModel,
-    rng: SimRng,
-    loadgens: Vec<Box<dyn LoadGenerator>>,
-    tasks: Vec<TaskRuntime>,
-    workloads: Vec<WorkloadFn>,
-    controller: Box<dyn Controller>,
-    /// Live jobs in a slot-reuse slab: `JobId` *is* the slot index, so
-    /// the admit → dispatch → complete lifecycle (one per background
-    /// arrival, millions per run) costs three `Vec` accesses instead of
-    /// three hash-map operations. Ids are recycled; every id held by a
-    /// scheduler queue or a `Running` slot is live by construction.
-    jobs: Vec<Option<Job>>,
-    /// Vacated job slots awaiting reuse.
-    free_jobs: Vec<u32>,
-    /// Messages between transmission completion (or local send) and
-    /// delivery.
-    in_flight: FxHashMap<MsgId, Message>,
-    /// Pending sender-side retransmit state, keyed by the *original*
-    /// message id. Empty unless `BusConfig::retx_timeout_us` is set.
-    retx: FxHashMap<MsgId, RetxState>,
-    /// Cached `retx_timeout_us > 0`, checked once per remote send.
-    retx_enabled: bool,
-    /// True when duplicates can reach a receiver (bus duplication or
-    /// retransmission enabled) and per-replica origin dedup must run.
-    dedup_enabled: bool,
-    metrics: RunMetrics,
-    /// Observations completed since the controller last ran.
-    pending_obs: Vec<PeriodObservation>,
-    /// Map (task, instance) → index into `metrics.periods`.
-    record_idx: FxHashMap<(TaskId, u64), usize>,
-    /// Bus busy total at the previous sample, for interval net utilization.
-    sampled_bus_busy: SimDuration,
-    sampled_at: SimTime,
-    /// Optional structured trace.
-    trace: Option<TraceSink>,
-    // Scratch buffers reused across hot-path calls (dispatch fan-out and
-    // message fan-out run once per stage per period); taken with
-    // `mem::take` for the duration of a call and restored afterwards so
-    // their capacity persists and the steady state allocates nothing.
-    scratch_nodes: Vec<NodeId>,
-    scratch_nodes2: Vec<NodeId>,
-    scratch_shares: Vec<u64>,
-    /// Reusable controller snapshot: static fields are built once, dynamic
-    /// fields are refreshed in place each control epoch.
-    ctx_scratch: Option<ControlContext>,
-    /// Retired observation buffer, swapped with `pending_obs` each control
-    /// epoch so both keep their capacity.
-    obs_scratch: Vec<PeriodObservation>,
-    /// Per-node virtual dispatch chains: when a node runs a *lone* job
-    /// (empty ready queue) spanning several quanta, every intermediate
-    /// per-quantum `Dispatch` is a state no-op — it serves one quantum,
-    /// requeues into an empty queue, picks the same job back, and
-    /// schedules the next slice. Those events are elided from the heap;
-    /// this chain tracks the `(time, seq)` key the *next* one would have
-    /// carried, with the seq allocated at the exact point the real event
-    /// would have been scheduled, so same-time tie-breaking is
-    /// bit-identical to the unelided execution (see
-    /// [`EventQueue::alloc_seq`]). An arrival at the node re-materializes
-    /// the pending link as a real truncated dispatch.
-    chains: Vec<Option<DispatchChain>>,
-    /// Per-generator poll state. With the fast path on, `next` holds the
-    /// `(time, seq)` key of the next elided poll — the heap never sees a
-    /// `BgPoll`. In both modes `dormant` marks a generator whose poll
-    /// fired while its node was down; it is re-armed on restart.
-    polls: Vec<PollLane>,
-    /// Per-node elided dispatch boundary, used when the fast path is on
-    /// and the node runs *only* background jobs: the slice-end `Dispatch`
-    /// is carried here (key only, no heap event) and fired as a direct
-    /// handler call. A stage admission re-materializes it via
-    /// [`EventQueue::schedule_at_seq`] in its reserved tie-break slot.
-    /// Invariant: a node never has both a chain and a boundary.
-    bg_bounds: Vec<Option<(SimTime, u64)>>,
-    /// Per-node count of live application (stage) jobs — queued or
-    /// running. Zero means every job on the node is background load and
-    /// its dispatch boundaries are eligible for elision.
-    stage_jobs: Vec<u32>,
-    /// Lazy min-heap over all virtual lanes (chains, polls, boundaries);
-    /// replaces the per-event O(n_nodes) chain scan. Used in both modes:
-    /// the minimum is the same however it is found, so sharing the heap
-    /// keeps fast/slow paths byte-identical while making the lane lookup
-    /// O(log n) for large clusters.
-    lanes: LaneHeap,
-    /// Cached `config.bg_fast_path`.
-    bg_ff: bool,
-    /// Instrumentation, present only when `enable_perf` was called. The
-    /// hot loop pays a single branch per event when this is `None`.
-    perf: Option<Box<PerfState>>,
-}
+/// The narrow driving seam of the simulator: everything the
+/// resource-management layer, experiment harnesses, and examples are
+/// allowed to do to a cluster. Implemented by [`Cluster`]; re-exported in
+/// the prelude.
+///
+/// Keeping the driving surface behind a trait (rather than inherent
+/// methods) makes the boundary auditable: a controller or harness that
+/// wants more than this has to change the trait, not quietly reach into
+/// simulator internals.
+pub trait ClusterApi {
+    /// The configuration in force.
+    fn config(&self) -> &ClusterConfig;
 
-/// Sender-side bookkeeping for one unacknowledged remote message.
-#[derive(Debug, Clone, Copy)]
-struct RetxState {
-    /// Sending node (retransmissions come from here; a crashed sender
-    /// gives up).
-    src: NodeId,
-    /// Destination node.
-    dst: NodeId,
-    /// Application payload size, for the resend.
-    size_bytes: u64,
-    /// Routing payload, for the resend.
-    payload: MsgPayload,
-    /// Retransmissions already performed.
-    attempts: u32,
-    /// Handle of the pending `RetxTimeout`, cancelled on delivery.
-    timer: crate::event::EventHandle,
-}
+    /// Adds a periodic task with its workload source. The task's id must
+    /// equal its insertion order.
+    ///
+    /// # Panics
+    /// Panics if the spec is invalid for this cluster.
+    fn add_task(&mut self, spec: TaskSpec, workload: WorkloadFn);
 
-/// The elided continuation of a lone running job (see `Cluster::chains`).
-#[derive(Debug, Clone, Copy)]
-struct DispatchChain {
-    /// Time of the next (elided) quantum-boundary dispatch.
-    next_at: SimTime,
-    /// The sequence number that dispatch would occupy in the event queue.
-    next_seq: u64,
-    /// When the job completes if it keeps the CPU: `slice_start +
-    /// remaining` at chain creation. The dispatch at this instant has real
-    /// effects and is scheduled as a real event when the chain reaches it.
-    completion: SimTime,
-    /// The node's scheduling quantum (chains only exist under a quantum).
-    quantum: SimDuration,
-}
+    /// Attaches a background load generator.
+    ///
+    /// # Panics
+    /// Panics if the generator targets a nonexistent node or its
+    /// configuration fails [`LoadGenerator::validate`] (non-finite or
+    /// out-of-range utilization, degenerate intervals — anything that
+    /// could spin the event loop or silently skew the ambient load).
+    fn add_load(&mut self, gen: Box<dyn LoadGenerator>);
 
-/// Per-generator poll bookkeeping (see `Cluster::polls`).
-#[derive(Debug, Clone, Copy, Default)]
-struct PollLane {
-    /// Fast path: `(time, seq)` of the next elided poll; `None` when the
-    /// generator is retired (past horizon), dormant, or the slow path
-    /// owns the poll as a real heap event.
-    next: Option<(SimTime, u64)>,
-    /// The generator's node was down when its poll fired; no further
-    /// polls are armed until the node restarts.
-    dormant: bool,
-}
-
-impl Cluster {
-    /// Builds an empty cluster (no tasks, no load, null controller).
-    pub fn new(config: ClusterConfig) -> Self {
-        assert!(config.n_nodes > 0, "cluster needs at least one node");
-        assert!(!config.horizon.is_zero(), "zero horizon");
-        assert!(!config.sample_interval.is_zero(), "zero sample interval");
-        assert!(config.max_in_flight >= 1, "max_in_flight must be >= 1");
-        let mut rng = SimRng::from_seed_stream(config.seed, 0);
-        let nodes = (0..config.n_nodes)
-            .map(|i| Node::new(NodeId::from_index(i), config.scheduler.build()))
-            .collect();
-        let clocks = ClockModel::new(config.n_nodes, config.clock, &mut rng);
-        // `SharedBus::new` validates the bus config and panics with a
-        // clear message for bad values (zero/NaN bandwidth, zero MTU, …).
-        let bus = SharedBus::new(config.bus);
-        let retx_enabled = config.bus.retx_timeout_us > 0;
-        let dedup_enabled = retx_enabled || config.bus.dup_prob > 0.0;
-        let n_nodes = config.n_nodes;
-        let bg_ff = config.bg_fast_path;
-        Cluster {
-            config,
-            queue: EventQueue::with_capacity(1024),
-            nodes,
-            bus,
-            clocks,
-            rng,
-            loadgens: Vec::new(),
-            tasks: Vec::new(),
-            workloads: Vec::new(),
-            controller: Box::new(crate::control::NullController),
-            jobs: Vec::new(),
-            free_jobs: Vec::new(),
-            in_flight: FxHashMap::default(),
-            retx: FxHashMap::default(),
-            retx_enabled,
-            dedup_enabled,
-            metrics: RunMetrics::default(),
-            pending_obs: Vec::new(),
-            record_idx: FxHashMap::default(),
-            sampled_bus_busy: SimDuration::ZERO,
-            sampled_at: SimTime::ZERO,
-            trace: None,
-            scratch_nodes: Vec::new(),
-            scratch_nodes2: Vec::new(),
-            scratch_shares: Vec::new(),
-            ctx_scratch: None,
-            obs_scratch: Vec::new(),
-            chains: vec![None; n_nodes],
-            polls: Vec::new(),
-            bg_bounds: vec![None; n_nodes],
-            stage_jobs: vec![0; n_nodes],
-            lanes: LaneHeap::default(),
-            bg_ff,
-            perf: None,
-        }
-    }
+    /// Installs the resource-management policy.
+    fn set_controller(&mut self, controller: Box<dyn Controller>);
 
     /// Enables structured tracing with the given event capacity.
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(TraceSink::bounded(capacity));
-    }
+    fn enable_trace(&mut self, capacity: usize);
 
     /// Enables performance instrumentation for the coming run. The
     /// optional `alloc_probe` is a monotone allocation counter (installed
     /// by the embedding binary; the simulator itself forbids `unsafe` and
     /// cannot count allocations) sampled around each control epoch.
-    pub fn enable_perf(&mut self, alloc_probe: Option<fn() -> u64>) {
-        self.perf = Some(Box::new(PerfState::new(alloc_probe)));
-    }
+    fn enable_perf(&mut self, alloc_probe: Option<fn() -> u64>);
 
     /// Schedules a node failure at the given instant (fault injection).
     /// The node's running and queued jobs are lost; instances that lose a
@@ -364,103 +153,90 @@ impl Cluster {
     /// # Panics
     /// Panics if the node does not exist or the failure is scheduled after
     /// the horizon.
-    pub fn fail_node_at(&mut self, node: NodeId, at: SimTime) {
-        assert!(node.index() < self.config.n_nodes, "no such node {node}");
-        assert!(
-            at <= SimTime::ZERO + self.config.horizon,
-            "failure beyond horizon"
-        );
-        self.queue.schedule(at, Ev::NodeFail { node });
-    }
+    fn fail_node_at(&mut self, node: NodeId, at: SimTime);
 
     /// Schedules a node *crash* at `at`: like [`Self::fail_node_at`]
     /// (running and queued jobs lost, affected instances failed) but the
     /// node's in-flight bus traffic is also torn down — its queued
     /// messages are purged and a frame it was mid-transmitting never
     /// completes — and, if `restart_after` is given, the node rejoins that
-    /// much later with cold caches and empty queues (see [`Node::restart`]
-    /// and the `cold` flag in [`ControlContext`]). A restart scheduled
-    /// past the horizon never happens.
+    /// much later with cold caches and empty queues (see
+    /// [`crate::node::Node::restart`] and the `cold` flag in
+    /// [`ControlContext`]). A restart scheduled past the horizon never
+    /// happens.
     ///
     /// # Panics
     /// Panics if the node does not exist, the crash is scheduled after the
     /// horizon, or `restart_after` is zero.
-    pub fn crash_node_at(&mut self, node: NodeId, at: SimTime, restart_after: Option<SimDuration>) {
-        assert!(node.index() < self.config.n_nodes, "no such node {node}");
-        assert!(
-            at <= SimTime::ZERO + self.config.horizon,
-            "crash beyond horizon"
-        );
-        self.queue.schedule(at, Ev::NodeCrash { node });
-        if let Some(d) = restart_after {
-            assert!(!d.is_zero(), "zero restart delay");
-            let back = at + d;
-            if back <= SimTime::ZERO + self.config.horizon {
-                self.queue.schedule(back, Ev::NodeRestart { node });
-            }
-        }
-    }
-
-    #[inline]
-    fn record_trace(&mut self, now: SimTime, ev: TraceEvent) {
-        if let Some(t) = self.trace.as_mut() {
-            t.record(now, ev);
-        }
-    }
-
-    /// The configuration in force.
-    pub fn config(&self) -> &ClusterConfig {
-        &self.config
-    }
-
-    /// Adds a periodic task with its workload source. The task's id must
-    /// equal its insertion order.
-    ///
-    /// # Panics
-    /// Panics if the spec is invalid for this cluster.
-    pub fn add_task(&mut self, spec: TaskSpec, workload: WorkloadFn) {
-        assert_eq!(
-            spec.id.index(),
-            self.tasks.len(),
-            "task id must equal insertion index"
-        );
-        if let Err(e) = spec.validate(self.config.n_nodes) {
-            panic!("invalid task spec: {e}");
-        }
-        self.tasks.push(TaskRuntime::new(spec));
-        self.workloads.push(workload);
-    }
-
-    /// Attaches a background load generator.
-    ///
-    /// # Panics
-    /// Panics if the generator targets a nonexistent node or its
-    /// configuration fails [`LoadGenerator::validate`] (non-finite or
-    /// out-of-range utilization, degenerate intervals — anything that
-    /// could spin the event loop or silently skew the ambient load).
-    pub fn add_load(&mut self, gen: Box<dyn LoadGenerator>) {
-        assert!(
-            gen.node().index() < self.config.n_nodes,
-            "load generator targets nonexistent node"
-        );
-        if let Err(e) = gen.validate() {
-            panic!("invalid load generator config: {e}");
-        }
-        self.loadgens.push(gen);
-        self.polls.push(PollLane::default());
-    }
-
-    /// Installs the resource-management policy.
-    pub fn set_controller(&mut self, controller: Box<dyn Controller>) {
-        self.controller = controller;
-    }
+    fn crash_node_at(&mut self, node: NodeId, at: SimTime, restart_after: Option<SimDuration>);
 
     /// Runs the simulation to the horizon and returns the metrics.
-    pub fn run(mut self) -> RunOutcome {
+    fn run(self) -> RunOutcome
+    where
+        Self: Sized;
+}
+
+/// The simulated distributed system: kernel + engines + controller.
+pub struct Cluster {
+    /// Pure mechanics: queue, clocks, RNG, lanes, metrics, observability.
+    kernel: SimKernel,
+    /// Nodes, job slab, quantum chains, dispatch boundaries.
+    dispatch: DispatchEngine,
+    /// Shared bus, in-flight/retransmit/dedup state.
+    net: NetEngine,
+    /// Node death, crash teardown, restart re-arm.
+    fault: FaultEngine,
+    /// Background generators and their poll lanes.
+    load: LoadEngine,
+    /// Task runtimes, instances, period bookkeeping.
+    tasks: TaskTable,
+    /// The resource-management policy under test.
+    controller: Box<dyn Controller>,
+    /// Reusable controller snapshot: static fields are built once, dynamic
+    /// fields are refreshed in place each control epoch.
+    ctx_scratch: Option<ControlContext>,
+    /// Retired observation buffer, swapped with `tasks.pending_obs` each
+    /// control epoch so both keep their capacity.
+    obs_scratch: Vec<PeriodObservation>,
+}
+
+impl Cluster {
+    /// Builds an empty cluster (no tasks, no load, null controller).
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.n_nodes > 0, "cluster needs at least one node");
+        assert!(!config.horizon.is_zero(), "zero horizon");
+        assert!(!config.sample_interval.is_zero(), "zero sample interval");
+        assert!(config.max_in_flight >= 1, "max_in_flight must be >= 1");
+        // Construction order is part of the byte-identity contract: the
+        // kernel seeds the RNG and draws the clock model first (the only
+        // construction-time draws), exactly as the monolith did.
+        let dispatch = DispatchEngine::new(config.n_nodes, &config.scheduler, config.bg_fast_path);
+        let net = NetEngine::new(config.bus);
+        let kernel = SimKernel::new(config);
+        Cluster {
+            kernel,
+            dispatch,
+            net,
+            fault: FaultEngine,
+            load: LoadEngine::default(),
+            tasks: TaskTable::default(),
+            controller: Box::new(crate::control::NullController),
+            ctx_scratch: None,
+            obs_scratch: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    fn run_to_horizon(&mut self) {
         // Seed the initial event population in one reserved burst.
-        self.queue.reserve(self.tasks.len() + self.loadgens.len() + 2);
-        for t in 0..self.tasks.len() {
-            self.queue.schedule(
+        self.kernel
+            .queue
+            .reserve(self.tasks.tasks.len() + self.load.gens.len() + 2);
+        for t in 0..self.tasks.tasks.len() {
+            self.kernel.queue.schedule(
                 SimTime::ZERO,
                 Ev::PeriodRelease {
                     task: TaskId::from_index(t),
@@ -468,26 +244,30 @@ impl Cluster {
                 },
             );
         }
-        for g in 0..self.loadgens.len() {
-            let at = self.loadgens[g].first_at(&mut self.rng);
-            if self.bg_ff {
+        for g in 0..self.load.gens.len() {
+            let at = self.load.gens[g].first_at(&mut self.kernel.rng);
+            if self.dispatch.bg_ff {
                 // Fast path: the poll lives on a virtual lane. Its seq is
                 // allocated exactly where the slow path would schedule it,
                 // so tie-breaking stays bit-identical.
-                let seq = self.queue.alloc_seq();
-                self.polls[g].next = Some((at, seq));
-                self.lanes.push(at, seq, LaneRef::Poll(g as u32));
+                let seq = self.kernel.queue.alloc_seq();
+                self.load.polls[g].next = Some((at, seq));
+                self.kernel.lanes.push(at, seq, LaneRef::Poll(g as u32));
             } else {
-                self.queue.schedule(at, Ev::BgPoll { gen: g });
+                self.kernel.queue.schedule(at, Ev::BgPoll { gen: g });
             }
         }
-        self.queue
-            .schedule(SimTime::ZERO + self.config.sample_interval, Ev::Sample);
-        self.queue
-            .schedule(SimTime::ZERO + self.config.clock.sync_interval, Ev::ClockSync);
+        self.kernel.queue.schedule(
+            SimTime::ZERO + self.kernel.config.sample_interval,
+            Ev::Sample,
+        );
+        self.kernel.queue.schedule(
+            SimTime::ZERO + self.kernel.config.clock.sync_interval,
+            Ev::ClockSync,
+        );
 
-        let horizon = SimTime::ZERO + self.config.horizon;
-        if let Some(p) = self.perf.as_mut() {
+        let horizon = self.kernel.horizon();
+        if let Some(p) = self.kernel.perf.as_mut() {
             p.run_started = Some(std::time::Instant::now());
         }
         // The queue's min key is re-read only when the queue has actually
@@ -500,9 +280,9 @@ impl Cluster {
             // The earliest pending work is the min over the real queue
             // and the virtual lanes (elided dispatches and polls); both
             // carry a total `(time, seq)` order key.
-            if self.queue.version() != queue_ver {
-                queue_key = self.queue.peek_key();
-                queue_ver = self.queue.version();
+            if self.kernel.queue.version() != queue_ver {
+                queue_key = self.kernel.queue.peek_key();
+                queue_ver = self.kernel.queue.version();
             }
             let lane_key = self.peek_lane();
             let (t, lane) = match (queue_key, lane_key) {
@@ -523,7 +303,7 @@ impl Cluster {
             let (now, ev) = match lane {
                 Some(LaneRef::Chain(i)) => {
                     let i = i as usize;
-                    let link = self.chains[i].expect("chain link exists");
+                    let link = self.dispatch.chains[i].expect("chain link exists");
                     if link.next_at < link.completion {
                         // Intermediate link: rekeyed to the next link in
                         // place — its heap entry is still the top. Then
@@ -532,38 +312,44 @@ impl Cluster {
                         // and runner-up lane, neither of which moves
                         // during an advance), fire it immediately
                         // instead of re-entering the loop.
-                        let bound = match (queue_key, self.lanes.runner_up()) {
+                        let bound = match (queue_key, self.kernel.lanes.runner_up()) {
                             (Some(q), Some(r)) => Some(q.min(r)),
                             (Some(q), None) => Some(q),
                             (None, r) => r,
                         };
-                        self.advance_chain(i);
-                        while let Some(l) = self.chains[i] {
+                        self.dispatch.advance_chain(&mut self.kernel, i);
+                        while let Some(l) = self.dispatch.chains[i] {
                             if l.next_at >= l.completion
                                 || l.next_at > horizon
                                 || bound.is_some_and(|b| (l.next_at, l.next_seq) >= b)
                             {
                                 break;
                             }
-                            self.advance_chain(i);
+                            self.dispatch.advance_chain(&mut self.kernel, i);
                         }
                         continue;
                     }
                     // The chain's final link: the lone job's completion
                     // dispatch, fired as a direct handler call with no
                     // heap round-trip.
-                    self.lanes.pop();
-                    self.chains[i] = None;
-                    self.queue.advance_now(link.next_at);
-                    let node = self.nodes[i].id;
-                    if self.bg_ff && self.stage_jobs[i] == 0 {
+                    self.kernel.lanes.pop();
+                    self.dispatch.chains[i] = None;
+                    self.kernel.queue.advance_now(link.next_at);
+                    let node = self.dispatch.nodes[i].id;
+                    if self.dispatch.bg_ff && self.dispatch.stage_jobs[i] == 0 {
                         // Background-only completion: the whole dispatch
                         // round-trip leaves the event loop, not just the
                         // heap traffic.
-                        if let Some(p) = self.perf.as_mut() {
+                        if let Some(p) = self.kernel.perf.as_mut() {
                             p.report.elided_bg_dispatches += 1;
                         }
-                        self.on_dispatch(link.next_at, node);
+                        self.dispatch.on_dispatch(
+                            &mut self.kernel,
+                            &mut self.tasks,
+                            &mut self.net,
+                            link.next_at,
+                            node,
+                        );
                         continue;
                     }
                     (link.next_at, Ev::Dispatch { node })
@@ -573,8 +359,14 @@ impl Cluster {
                     // push keys strictly after `t`, so the entry is still
                     // the top afterwards and is rekeyed to the next poll
                     // (or popped, if the generator retires).
-                    self.queue.advance_now(t);
-                    self.on_virtual_poll(t, g as usize);
+                    self.kernel.queue.advance_now(t);
+                    self.load.on_virtual_poll(
+                        &mut self.kernel,
+                        &mut self.dispatch,
+                        &mut self.tasks,
+                        t,
+                        g as usize,
+                    );
                     continue;
                 }
                 Some(LaneRef::Bound(i)) => {
@@ -584,899 +376,61 @@ impl Cluster {
                     // event loop entirely (a live boundary implies the
                     // node is still background-only).
                     let i = i as usize;
-                    self.lanes.pop();
-                    self.bg_bounds[i] = None;
-                    self.queue.advance_now(t);
-                    if let Some(p) = self.perf.as_mut() {
+                    self.kernel.lanes.pop();
+                    self.dispatch.bg_bounds[i] = None;
+                    self.kernel.queue.advance_now(t);
+                    if let Some(p) = self.kernel.perf.as_mut() {
                         p.report.elided_bg_dispatches += 1;
                     }
-                    self.on_dispatch(t, self.nodes[i].id);
+                    let node = self.dispatch.nodes[i].id;
+                    self.dispatch.on_dispatch(
+                        &mut self.kernel,
+                        &mut self.tasks,
+                        &mut self.net,
+                        t,
+                        node,
+                    );
                     continue;
                 }
-                None => self.queue.pop().expect("peeked event exists"),
+                None => self.kernel.queue.pop().expect("peeked event exists"),
             };
-            if self.perf.is_none() {
+            if self.kernel.perf.is_none() {
                 self.handle(now, ev);
             } else {
                 let kind = ev.kind_index();
                 let t0 = std::time::Instant::now();
                 self.handle(now, ev);
                 let dt = t0.elapsed().as_nanos() as u64;
-                let p = self.perf.as_mut().expect("perf enabled");
+                let p = self.kernel.perf.as_mut().expect("perf enabled");
                 p.report.events[kind] += 1;
                 p.report.ns[kind] += dt;
             }
         }
         self.finalize(horizon);
-        let perf = self.perf.take().map(|mut p| {
-            p.report.queue = self.queue.stats();
-            p.report.wall_ns = p
-                .run_started
-                .map(|s| s.elapsed().as_nanos() as u64)
-                .unwrap_or(0);
-            p.report
-        });
-        RunOutcome {
-            metrics: self.metrics,
-            controller: self.controller.name(),
-            trace: self.trace,
-            perf,
-        }
     }
 
-    // ------------------------------------------------------------------
-    // Event handling
-    // ------------------------------------------------------------------
-
+    /// Routes one popped event to the engine that owns its domain. The
+    /// composition-root events (period release, clock sync, sampling) are
+    /// handled here; everything else is dispatched on split borrows of
+    /// the kernel and the engines — disjoint fields, so they all coexist.
     fn handle(&mut self, now: SimTime, ev: Ev) {
         match ev {
-            Ev::PeriodRelease { task, index } => self.on_period_release(now, task, index),
-            Ev::Dispatch { node } => self.on_dispatch(now, node),
-            Ev::BgPoll { gen } => self.on_bg_poll(now, gen),
-            Ev::TxComplete => self.on_tx_complete(now),
-            Ev::Deliver { msg } => self.on_deliver(now, msg),
-            Ev::ClockSync => self.on_clock_sync(now),
-            Ev::Sample => self.on_sample(now),
-            Ev::NodeFail { node } => self.on_node_fail(now, node),
-            Ev::NodeCrash { node } => self.on_node_crash(now, node),
-            Ev::NodeRestart { node } => self.on_node_restart(now, node),
-            Ev::RetxTimeout { orig } => self.on_retx_timeout(now, orig),
+            Ev::PeriodRelease { task, index } => return self.on_period_release(now, task, index),
+            Ev::ClockSync => return self.on_clock_sync(now),
+            Ev::Sample => return self.on_sample(now),
+            _ => {}
         }
-    }
-
-    /// Kills a node: abort its running job, drop its ready queue, mark it
-    /// dead. Instances whose jobs are lost can never complete and are
-    /// failed immediately.
-    fn on_node_fail(&mut self, now: SimTime, node: NodeId) {
-        if !self.nodes[node.index()].alive {
-            return;
-        }
-        self.nodes[node.index()].alive = false;
-        self.record_trace(now, TraceEvent::NodeFailed { node });
-        let mut lost: Vec<JobId> = Vec::new();
-        // Virtual lanes die with the node; their heap entries go stale.
-        self.chains[node.index()] = None;
-        self.bg_bounds[node.index()] = None;
-        if let Some(running) = self.nodes[node.index()].running.take() {
-            if let Some(h) = running.dispatch_handle {
-                self.queue.cancel(h);
-            }
-            lost.push(running.job);
-        }
-        while let Some(j) = self.nodes[node.index()].sched.pick() {
-            lost.push(j);
-        }
-        self.nodes[node.index()].end_busy(now);
-        for jid in lost {
-            if let Some(job) = self.remove_job(jid) {
-                if let JobKind::Stage { stage, instance, .. } = job.kind {
-                    self.fail_instance(now, stage.task, instance);
-                }
-            }
-        }
-    }
-
-    /// A crash is a failure plus bus teardown: the crashed node's queued
-    /// messages are purged and a frame it was mid-transmitting is aborted
-    /// (the medium is freed for the next waiting sender). The aborted
-    /// frame's already-scheduled `TxComplete` stays in the event queue and
-    /// is ignored as stale by [`SharedBus::tx_complete`].
-    fn on_node_crash(&mut self, now: SimTime, node: NodeId) {
-        if !self.nodes[node.index()].alive {
-            return;
-        }
-        self.on_node_fail(now, node);
-        let max_backoff = self.bus.config().max_backoff_us;
-        let backoff = if max_backoff > 0
-            && self.bus.transmitting_src() == Some(node)
-            && self.bus.queue_len() > 0
-        {
-            SimDuration::from_micros(self.rng.below(max_backoff + 1))
-        } else {
-            SimDuration::ZERO
-        };
-        let aborted = self.bus.abort_from(now, node, backoff);
-        if let Some((_, done)) = aborted.next {
-            self.queue.schedule(done, Ev::TxComplete);
-        }
-        for m in aborted.purged.into_iter().chain(aborted.in_flight) {
-            let MsgPayload::StageData { stage, replica, instance, .. } = m.payload;
-            // A dead sender cannot retransmit: retire its timer too.
-            if let Some(st) = self.retx.remove(&m.origin) {
-                self.queue.cancel(st.timer);
-            } else if self.origin_delivered(stage, replica, instance, m.origin) {
-                // Leftover redundant retransmission; the data already
-                // arrived, so purging this copy loses nothing.
-                continue;
-            }
-            self.metrics.messages_lost += 1;
-            self.record_trace(now, TraceEvent::MessageLost { msg: m.origin, dst: m.dst });
-            self.fail_instance(now, stage.task, instance);
-        }
-    }
-
-    /// Brings a crashed node back online: cold caches, empty queues, and
-    /// a reset utilization estimate. Until the estimate warms up the node
-    /// reports as `cold` in the [`ControlContext`], so managers treat its
-    /// utilization as missing rather than zero.
-    fn on_node_restart(&mut self, now: SimTime, node: NodeId) {
-        if self.nodes[node.index()].alive {
-            return; // never crashed (or already restarted): nothing to do
-        }
-        self.nodes[node.index()].restart(now);
-        self.metrics.node_restarts += 1;
-        self.record_trace(now, TraceEvent::NodeRestarted { node });
-        // Re-arm the node's background generators that went dormant while
-        // it was down: ambient load resumes with the node. A generator
-        // whose poll was still pending at restart (crash shorter than one
-        // interarrival gap) is not dormant and needs nothing — its poll
-        // fires normally. Index order keeps the re-arm deterministic.
-        for g in 0..self.loadgens.len() {
-            if self.loadgens[g].node() != node || !self.polls[g].dormant {
-                continue;
-            }
-            self.polls[g].dormant = false;
-            if self.bg_ff {
-                let seq = self.queue.alloc_seq();
-                self.polls[g].next = Some((now, seq));
-                self.lanes.push(now, seq, LaneRef::Poll(g as u32));
-            } else {
-                self.queue.schedule(now, Ev::BgPoll { gen: g });
-            }
-        }
-    }
-
-    /// The sender-side retransmit timer fired without an acknowledged
-    /// delivery: resend (the copy contends on the bus like any message)
-    /// with deterministic exponential backoff, or give up once the retry
-    /// budget is spent or the sender itself has died.
-    fn on_retx_timeout(&mut self, now: SimTime, orig: MsgId) {
-        let Some(mut st) = self.retx.remove(&orig) else {
-            return; // delivered (or torn down) before the timer fired
-        };
-        let cfg = *self.bus.config();
-        let MsgPayload::StageData { stage, instance, .. } = st.payload;
-        if st.attempts >= cfg.retx_max_retries || !self.nodes[st.src.index()].alive {
-            self.metrics.messages_lost += 1;
-            self.record_trace(now, TraceEvent::MessageLost { msg: orig, dst: st.dst });
-            self.fail_instance(now, stage.task, instance);
-            return;
-        }
-        st.attempts += 1;
-        self.metrics.retransmits += 1;
-        self.record_trace(now, TraceEvent::Retransmit { msg: orig, attempt: st.attempts });
-        match self.bus.resend(now, st.src, st.dst, st.size_bytes, st.payload, orig) {
-            SendOutcome::Transmitting { tx_done, .. } => {
-                self.queue.schedule(tx_done, Ev::TxComplete);
-            }
-            SendOutcome::Queued { .. } => {}
-            SendOutcome::DeliverLocally { .. } => {
-                unreachable!("retransmit timers are only armed for remote messages")
-            }
-        }
-        // Deterministic exponential backoff: timeout << attempts. No RNG —
-        // replays must be byte-identical, and the contention the copy
-        // meets on the bus already desynchronizes senders.
-        let delay = SimDuration::from_micros(cfg.retx_timeout_us << st.attempts.min(16));
-        st.timer = self.queue.schedule(now + delay, Ev::RetxTimeout { orig });
-        self.retx.insert(orig, st);
-    }
-
-    /// True when some copy of `origin` already reached its stage replica.
-    /// A redundant retransmission (the retx timer fired while the original
-    /// was still queued) can then be lost or dropped harmlessly: the data
-    /// arrived, so the instance must not be failed. Only ever true when
-    /// `dedup_enabled` populates `seen_origins`, which covers every
-    /// configuration that can produce redundant copies.
-    fn origin_delivered(&self, stage: StageId, replica: u32, instance: u64, origin: MsgId) -> bool {
-        self.tasks[stage.task.index()]
-            .instances
-            .get(&instance)
-            .is_some_and(|inst| {
-                inst.stages[stage.subtask.index()].seen_origins[replica as usize].contains(&origin)
-            })
-    }
-
-    /// Fails one in-flight instance: it is removed, its period record is
-    /// marked missed, and the controller is told (as a stage-less, missed
-    /// observation, like a shed period).
-    fn fail_instance(&mut self, _now: SimTime, task: TaskId, instance: u64) {
-        let Some(inst) = self.tasks[task.index()].instances.remove(&instance) else {
-            return;
-        };
-        if let Some(&i) = self.record_idx.get(&(task, instance)) {
-            self.metrics.periods[i].missed = Some(true);
-        }
-        self.pending_obs.push(PeriodObservation {
-            task,
-            instance,
-            released: inst.released,
-            tracks: inst.tracks,
-            end_to_end: None,
-            missed: true,
-            stages: Vec::new(),
-        });
-    }
-
-    fn on_period_release(&mut self, now: SimTime, task: TaskId, index: u64) {
-        // 1. Let the controller react to everything that completed.
-        self.run_controller(now);
-
-        // 2. Draw this period's workload.
-        let tracks = (self.workloads[task.index()])(index);
-        self.tasks[task.index()].last_tracks = tracks;
-
-        // 3. Admission: shed if too many instances are still in flight.
-        let in_flight = self.tasks[task.index()].instances.len();
-        let placement = self.tasks[task.index()].placement.clone();
-        let replicas: Vec<u32> = placement.iter().map(|p| p.len() as u32).collect();
-        let rec = PeriodRecord {
-            instance: index,
-            released: now,
-            tracks,
-            replicas_per_stage: replicas,
-            end_to_end: None,
-            missed: None,
-            shed: false,
-        };
-        let rec_i = self.metrics.periods.len();
-        self.metrics.periods.push(rec);
-        self.record_idx.insert((task, index), rec_i);
-
-        if in_flight >= self.config.max_in_flight {
-            self.record_trace(now, TraceEvent::Shed { instance: index });
-            let rec = &mut self.metrics.periods[rec_i];
-            rec.shed = true;
-            rec.missed = Some(true);
-            self.pending_obs.push(PeriodObservation {
-                task,
-                instance: index,
-                released: now,
-                tracks,
-                end_to_end: None,
-                missed: true,
-                stages: Vec::new(),
-            });
-        } else {
-            // 4. Release: instantiate and start the first stage.
-            self.record_trace(now, TraceEvent::Release { instance: index, tracks });
-            let inst = InstanceState::new(index, now, tracks, placement);
-            self.tasks[task.index()].instances.insert(index, inst);
-            self.start_stage(now, task, index, SubtaskIdx(0));
-        }
-
-        // 5. Schedule the next release on the nominal grid plus jitter
-        // (jitter never accumulates: it is applied to the grid point, not
-        // to the previous jittered release).
-        let nominal = SimTime::ZERO + self.tasks[task.index()].spec.period * (index + 1);
-        let jitter = if self.config.release_jitter_us > 0 {
-            SimDuration::from_micros(self.rng.below(self.config.release_jitter_us + 1))
-        } else {
-            SimDuration::ZERO
-        };
-        let next = nominal + jitter;
-        if next <= SimTime::ZERO + self.config.horizon {
-            // max(now): a jittered previous release can never push the
-            // next one into the simulated past.
-            self.queue
-                .schedule(next.max(now), Ev::PeriodRelease { task, index: index + 1 });
-        }
-    }
-
-    /// Starts stage `stage` of instance `index`: for the first stage the
-    /// sensor data is locally available, so replica jobs are admitted
-    /// directly; later stages are started by message delivery.
-    fn start_stage(&mut self, now: SimTime, task: TaskId, index: u64, stage: SubtaskIdx) {
-        // Borrow the scratch buffers for the call; `admit_job` needs `&mut
-        // self`, so the replica list and shares live outside `self` while
-        // jobs are admitted. Capacity survives across calls.
-        let mut nodes = std::mem::take(&mut self.scratch_nodes);
-        let mut shares = std::mem::take(&mut self.scratch_shares);
-        let rt = &mut self.tasks[task.index()];
-        let inst = rt.instances.get_mut(&index).expect("instance exists");
-        nodes.clear();
-        nodes.extend_from_slice(&inst.placement[stage.index()]);
-        split_tracks_into(inst.tracks, nodes.len(), &mut shares);
-        let cost = rt.spec.stages[stage.index()].cost;
-        {
-            let prog = &mut inst.stages[stage.index()];
-            prog.started = Some(now);
-            prog.tracks_in.clear();
-            prog.tracks_in.extend_from_slice(&shares);
-            for d in prog.msg_delay.iter_mut() {
-                *d = Some(SimDuration::ZERO);
-            }
-        }
-        let stage_id = StageId::new(task, stage);
-        for (r, (&node, &share)) in nodes.iter().zip(shares.iter()).enumerate() {
-            let demand = cost.demand(share).max(SimDuration::from_micros(1));
-            self.admit_job(
-                now,
-                node,
-                JobKind::Stage {
-                    stage: stage_id,
-                    replica: r as u32,
-                    instance: index,
-                },
-                demand,
-                0,
-            );
-        }
-        self.scratch_nodes = nodes;
-        self.scratch_shares = shares;
-    }
-
-    fn on_dispatch(&mut self, now: SimTime, node: NodeId) {
-        let running = self.nodes[node.index()]
-            .running
-            .take()
-            .expect("dispatch event on idle node");
-        debug_assert_eq!(running.slice_end, now, "dispatch at wrong instant");
-        let served = now.since(running.slice_start);
-        let job = self.jobs[running.job.index()]
-            .as_mut()
-            .expect("running job exists");
-        job.serve(served);
-        if job.is_complete() {
-            let job = self.remove_job(running.job).expect("job exists");
-            if let JobKind::Stage { stage, replica, instance } = job.kind {
-                let released = job.released;
-                self.on_stage_job_complete(now, stage, replica, instance, released);
-            }
-        } else {
-            let prio = job.priority;
-            self.nodes[node.index()].sched.requeue(running.job, prio);
-        }
-        self.try_dispatch(now, node);
-    }
-
-    fn on_stage_job_complete(
-        &mut self,
-        now: SimTime,
-        stage: StageId,
-        replica: u32,
-        instance: u64,
-        released: SimTime,
-    ) {
-        let task = stage.task;
-        let n_stages = self.tasks[task.index()].spec.n_stages();
-        let deadline = self.tasks[task.index()].spec.deadline;
-        let finished = {
-            let rt = &mut self.tasks[task.index()];
-            let Some(inst) = rt.instances.get_mut(&instance) else {
-                return; // instance was failed (node death) while this job ran
-            };
-            let prog = &mut inst.stages[stage.subtask.index()];
-            prog.exec_latency[replica as usize] = Some(now.since(released));
-            prog.done_replicas += 1;
-            if prog.done_replicas as usize == prog.exec_latency.len() {
-                prog.completed = Some(now);
-                true
-            } else {
-                false
-            }
-        };
-        self.record_trace(
-            now,
-            TraceEvent::ReplicaDone {
-                stage,
-                replica,
-                instance,
-                latency: now.since(released),
-            },
-        );
-        if !finished {
-            return;
-        }
-        self.record_trace(now, TraceEvent::StageDone { stage, instance });
-        let next = SubtaskIdx(stage.subtask.0 + 1);
-        if next.index() < n_stages {
-            self.send_stage_messages(now, task, instance, stage.subtask, next);
-        } else {
-            // Last stage: the instance is complete.
-            let inst = {
-                let rt = &mut self.tasks[task.index()];
-                let mut inst = rt.instances.remove(&instance).expect("instance exists");
-                inst.completed = Some(now);
-                inst
-            };
-            let e2e = inst.end_to_end().expect("completed");
-            let missed = e2e > deadline;
-            self.record_trace(
-                now,
-                TraceEvent::InstanceDone {
-                    instance,
-                    latency: e2e,
-                    missed,
-                },
-            );
-            if let Some(&i) = self.record_idx.get(&(task, instance)) {
-                let rec = &mut self.metrics.periods[i];
-                rec.end_to_end = Some(e2e);
-                rec.missed = Some(missed);
-            }
-            for (j, p) in inst.stages.iter().enumerate() {
-                self.metrics.stage_records.push(crate::metrics::StageRecord {
-                    task: task.0,
-                    instance,
-                    stage: j as u32,
-                    replicas: inst.placement[j].len() as u32,
-                    exec_ms: p
-                        .max_exec_latency()
-                        .unwrap_or(SimDuration::ZERO)
-                        .as_millis_f64(),
-                    msg_ms: p
-                        .max_msg_delay()
-                        .unwrap_or(SimDuration::ZERO)
-                        .as_millis_f64(),
-                });
-            }
-            let stages = inst
-                .stages
-                .iter()
-                .enumerate()
-                .map(|(j, p)| StageObservation {
-                    subtask: SubtaskIdx::from_index(j),
-                    replicas: inst.placement[j].len() as u32,
-                    tracks: inst.tracks,
-                    exec_latency: p.max_exec_latency().unwrap_or(SimDuration::ZERO),
-                    inbound_msg_delay: p.max_msg_delay().unwrap_or(SimDuration::ZERO),
-                    stage_latency: match (p.started, p.completed) {
-                        (Some(s), Some(c)) => c.since(s),
-                        _ => SimDuration::ZERO,
-                    },
-                })
-                .collect();
-            self.pending_obs.push(PeriodObservation {
-                task,
-                instance,
-                released: inst.released,
-                tracks: inst.tracks,
-                end_to_end: Some(e2e),
-                missed,
-                stages,
-            });
-        }
-    }
-
-    /// Fans the completed stage's output out to the successor's replicas.
-    ///
-    /// `max(k_src, k_dst)` messages are sent: message `i` carries an even
-    /// share of the data stream from source replica `i % k_src` to
-    /// destination replica `i % k_dst`, so every source replica ships its
-    /// output and every destination replica learns its full input from the
-    /// messages addressed to it.
-    fn send_stage_messages(
-        &mut self,
-        now: SimTime,
-        task: TaskId,
-        instance: u64,
-        from: SubtaskIdx,
-        to: SubtaskIdx,
-    ) {
-        let mut src_nodes = std::mem::take(&mut self.scratch_nodes);
-        let mut dst_nodes = std::mem::take(&mut self.scratch_nodes2);
-        let mut shares = std::mem::take(&mut self.scratch_shares);
-        let bytes_per_track = {
-            let rt = &mut self.tasks[task.index()];
-            let inst = rt.instances.get_mut(&instance).expect("instance exists");
-            src_nodes.clear();
-            src_nodes.extend_from_slice(&inst.placement[from.index()]);
-            dst_nodes.clear();
-            dst_nodes.extend_from_slice(&inst.placement[to.index()]);
-            let n_msgs = src_nodes.len().max(dst_nodes.len());
-            split_tracks_into(inst.tracks, n_msgs, &mut shares);
-            let prog = &mut inst.stages[to.index()];
-            prog.started = Some(now);
-            for (i, _) in shares.iter().enumerate() {
-                prog.msgs_expected[i % dst_nodes.len()] += 1;
-            }
-            rt.spec.stages[from.index()].output_bytes_per_track
-        };
-        let stage_id = StageId::new(task, to);
-        for (i, &share) in shares.iter().enumerate() {
-            let src = src_nodes[i % src_nodes.len()];
-            let dst_replica = i % dst_nodes.len();
-            let dst = dst_nodes[dst_replica];
-            let size = (share as f64 * bytes_per_track).ceil() as u64;
-            let payload = MsgPayload::StageData {
-                stage: stage_id,
-                replica: dst_replica as u32,
-                instance,
-                tracks: share,
-            };
-            match self.bus.send(now, src, dst, size, payload) {
-                SendOutcome::DeliverLocally { msg, at } => {
-                    let m = self.bus.take_local(msg);
-                    self.in_flight.insert(msg, m);
-                    self.queue.schedule(at, Ev::Deliver { msg });
-                }
-                SendOutcome::Transmitting { msg, tx_done } => {
-                    self.queue.schedule(tx_done, Ev::TxComplete);
-                    self.arm_retx(now, msg, src, dst, size, payload);
-                }
-                SendOutcome::Queued { msg } => {
-                    self.arm_retx(now, msg, src, dst, size, payload);
-                }
-            }
-        }
-        self.scratch_nodes = src_nodes;
-        self.scratch_nodes2 = dst_nodes;
-        self.scratch_shares = shares;
-    }
-
-    /// Arms the sender-side retransmit timer for a freshly sent remote
-    /// message. No-op (no event, no state) unless `retx_timeout_us` is
-    /// configured, so the default path is untouched.
-    fn arm_retx(
-        &mut self,
-        now: SimTime,
-        orig: MsgId,
-        src: NodeId,
-        dst: NodeId,
-        size_bytes: u64,
-        payload: MsgPayload,
-    ) {
-        if !self.retx_enabled {
-            return;
-        }
-        let timeout = SimDuration::from_micros(self.bus.config().retx_timeout_us);
-        let timer = self.queue.schedule(now + timeout, Ev::RetxTimeout { orig });
-        self.retx.insert(
-            orig,
-            RetxState {
-                src,
-                dst,
-                size_bytes,
-                payload,
-                attempts: 0,
-                timer,
-            },
-        );
-    }
-
-    fn on_tx_complete(&mut self, now: SimTime) {
-        let max_backoff = self.bus.config().max_backoff_us;
-        let backoff = if max_backoff > 0 && self.bus.queue_len() > 0 {
-            SimDuration::from_micros(self.rng.below(max_backoff + 1))
-        } else {
-            SimDuration::ZERO
-        };
-        let Some((msg, next)) = self.bus.tx_complete(now, backoff) else {
-            // Stale completion: the frame it announced was aborted by a
-            // node crash. The wire has already been re-dispatched.
-            return;
-        };
-        // The wire is free for the next sender regardless of what the
-        // lossy medium does to the finished frame below.
-        if let Some((_, done)) = next {
-            self.queue.schedule(done, Ev::TxComplete);
-        }
-        // Failure realism, each draw gated behind its default-off knob so
-        // the baseline consumes no randomness. Draw order is fixed:
-        // backoff (above), drop, duplication.
-        let cfg = *self.bus.config();
-        if cfg.drop_prob > 0.0 && self.rng.chance(cfg.drop_prob) {
-            // Corrupted on the wire: bandwidth burned, nothing delivered.
-            let MsgPayload::StageData { stage, replica, instance, .. } = msg.payload;
-            self.metrics.messages_dropped += 1;
-            self.record_trace(now, TraceEvent::MessageDropped { msg: msg.origin });
-            if !self.retx.contains_key(&msg.origin)
-                && !self.origin_delivered(stage, replica, instance, msg.origin)
-            {
-                // No retransmission coming and no copy ever arrived: the
-                // stage can never assemble its input.
-                self.fail_instance(now, stage.task, instance);
-            }
-            return;
-        }
-        let deliver_at = now + self.bus.propagation();
-        let id = msg.id;
-        if cfg.dup_prob > 0.0 && self.rng.chance(cfg.dup_prob) {
-            let dup_id = self.bus.alloc_copy_id();
-            let dup = Message { id: dup_id, ..msg.clone() };
-            self.metrics.messages_duplicated += 1;
-            self.record_trace(now, TraceEvent::MessageDuplicated { msg: msg.origin });
-            self.in_flight.insert(dup_id, dup);
-            self.queue.schedule(deliver_at, Ev::Deliver { msg: dup_id });
-        }
-        self.in_flight.insert(id, msg);
-        self.queue.schedule(deliver_at, Ev::Deliver { msg: id });
-    }
-
-    fn on_deliver(&mut self, now: SimTime, msg: MsgId) {
-        let m = self.in_flight.remove(&msg).expect("in-flight message exists");
-        let MsgPayload::StageData { stage, replica, instance, tracks } = m.payload;
-        if !self.nodes[m.dst.index()].alive {
-            // Routed to a dead node. With a retransmission pending the
-            // sender will retry (the node may restart in time), and a
-            // leftover redundant copy whose origin already arrived is
-            // harmless — neither is a final loss (give-up is accounted in
-            // `on_retx_timeout`). Otherwise the stage can never assemble
-            // its input: count the loss and fail the instance now.
-            if self.retx.contains_key(&m.origin)
-                || self.origin_delivered(stage, replica, instance, m.origin)
-            {
-                return;
-            }
-            self.metrics.messages_lost += 1;
-            self.record_trace(now, TraceEvent::MessageLost { msg: m.origin, dst: m.dst });
-            self.fail_instance(now, stage.task, instance);
-            return;
-        }
-        // Data arrived at a live destination: the sender's retransmit
-        // timer (if armed) is satisfied, even if this copy turns out to
-        // be a duplicate below.
-        if let Some(st) = self.retx.remove(&m.origin) {
-            self.queue.cancel(st.timer);
-        }
-        let delay = now.since(m.enqueued);
-        let demand = {
-            let rt = &mut self.tasks[stage.task.index()];
-            let Some(inst) = rt.instances.get_mut(&instance) else {
-                // Instance was finalized early (e.g. at horizon); drop.
-                return;
-            };
-            let prog = &mut inst.stages[stage.subtask.index()];
-            let r = replica as usize;
-            if self.dedup_enabled {
-                if prog.seen_origins[r].contains(&m.origin) {
-                    return; // spurious duplicate or redundant retransmit
-                }
-                prog.seen_origins[r].push(m.origin);
-            }
-            prog.msgs_received[r] += 1;
-            prog.tracks_in[r] += tracks;
-            prog.msg_delay[r] = Some(prog.msg_delay[r].map_or(delay, |d| d.max(delay)));
-            if prog.msgs_received[r] < prog.msgs_expected[r] {
-                return; // replica still waiting for more shares
-            }
-            rt.spec.stages[stage.subtask.index()]
-                .cost
-                .demand(rt.instances[&instance].stages[stage.subtask.index()].tracks_in[r])
-        };
-        self.admit_job(
-            now,
-            m.dst,
-            JobKind::Stage {
-                stage,
-                replica,
-                instance,
-            },
-            demand.max(SimDuration::from_micros(1)),
-            0,
-        );
-    }
-
-    /// Slow-path poll (real `BgPoll` heap event): admit the arrival and
-    /// reschedule.
-    fn on_bg_poll(&mut self, now: SimTime, gen: usize) {
-        if let Some(next_at) = self.poll_generator(now, gen) {
-            self.queue.schedule(next_at, Ev::BgPoll { gen });
-        }
-    }
-
-    /// Fast-path poll (virtual lane, no heap event): identical to
-    /// [`Self::on_bg_poll`] except the next poll's `(time, seq)` key is
-    /// reserved instead of scheduled. The seq allocation sits at the
-    /// exact program point of the slow path's `schedule` — after the
-    /// admission — so tie-breaking is bit-identical.
-    /// Fires an elided poll whose lane entry is still at the top of the
-    /// lane heap (the run loop peeks but does not pop). On re-arm the
-    /// entry is rekeyed in place — one sift instead of a pop + push;
-    /// when the generator retires (dormant or past the horizon) the
-    /// entry is popped.
-    fn on_virtual_poll(&mut self, now: SimTime, gen: usize) {
-        let (_, prev_seq) = self.polls[gen].next.take().expect("poll lane is armed");
-        match self.poll_generator(now, gen) {
-            Some(next_at) => {
-                let seq = self.queue.alloc_seq();
-                self.polls[gen].next = Some((next_at, seq));
-                self.lanes
-                    .rekey_top(prev_seq, next_at, seq, LaneRef::Poll(gen as u32));
-            }
-            None => {
-                self.lanes.pop();
-            }
-        }
-        if let Some(p) = self.perf.as_mut() {
-            p.report.elided_bg_polls += 1;
-        }
-    }
-
-    /// Common poll body: draw the generator (same RNG call, same program
-    /// point in both paths), admit the arrival, and return the next poll
-    /// time if one is due within the horizon. A poll that finds its node
-    /// down marks the generator dormant — no RNG draw, no reschedule —
-    /// until [`Self::on_node_restart`] re-arms it, so ambient load
-    /// survives crash–restart instead of silently vanishing.
-    fn poll_generator(&mut self, now: SimTime, gen: usize) -> Option<SimTime> {
-        let node = self.loadgens[gen].node();
-        if !self.nodes[node.index()].alive {
-            self.polls[gen].dormant = true;
-            return None;
-        }
-        let arrival = self.loadgens[gen].arrive(now, &mut self.rng);
-        // A generator yielding `next_at <= now` would re-poll at the
-        // current instant forever and spin the event loop; this is a
-        // contract violation by the generator, not a simulation outcome.
-        assert!(
-            arrival.next_at > now,
-            "load generator {gen} scheduled its next arrival at {} <= now {now}; \
-             degenerate intervals would spin the event loop",
-            arrival.next_at,
-        );
-        if !arrival.demand.is_zero() {
-            let gid = crate::ids::LoadGenId(gen as u32);
-            self.admit_job(now, node, JobKind::Background(gid), arrival.demand, 1);
-        }
-        (arrival.next_at <= SimTime::ZERO + self.config.horizon).then_some(arrival.next_at)
-    }
-
-    fn on_clock_sync(&mut self, now: SimTime) {
-        self.clocks.sync_round(now, &mut self.rng);
-        let next = now + self.config.clock.sync_interval;
-        if next <= SimTime::ZERO + self.config.horizon {
-            self.queue.schedule(next, Ev::ClockSync);
-        }
-    }
-
-    fn on_sample(&mut self, now: SimTime) {
-        let row: Vec<f64> = self
-            .nodes
-            .iter_mut()
-            .map(|n| n.sample_utilization(now))
-            .collect();
-        self.metrics.cpu_samples.push(row);
-        let bus_busy = self.bus.busy_total(now);
-        let interval = now.saturating_since(self.sampled_at);
-        if !interval.is_zero() {
-            let u = bus_busy.saturating_sub(self.sampled_bus_busy).as_secs_f64()
-                / interval.as_secs_f64();
-            self.metrics.net_samples.push(u);
-        }
-        self.sampled_bus_busy = bus_busy;
-        self.sampled_at = now;
-        let next = now + self.config.sample_interval;
-        if next <= SimTime::ZERO + self.config.horizon {
-            self.queue.schedule(next, Ev::Sample);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Mechanics
-    // ------------------------------------------------------------------
-
-    fn admit_job(
-        &mut self,
-        now: SimTime,
-        node: NodeId,
-        kind: JobKind,
-        demand: SimDuration,
-        priority: u8,
-    ) {
-        if !self.nodes[node.index()].alive {
-            // Work routed to a dead node is lost; a stage job's instance
-            // can never complete.
-            if let JobKind::Stage { stage, instance, .. } = kind {
-                self.fail_instance(now, stage.task, instance);
-            }
-            return;
-        }
-        let slot = match self.free_jobs.pop() {
-            Some(s) => s,
-            None => {
-                self.jobs.push(None);
-                (self.jobs.len() - 1) as u32
-            }
-        };
-        let id = JobId(slot);
-        let job = Job::new(id, node, kind, demand, now).with_priority(priority);
-        self.jobs[slot as usize] = Some(job);
-        if kind.is_stage() {
-            self.stage_jobs[node.index()] += 1;
-        }
-        if self.bg_ff && self.stage_jobs[node.index()] == 0 {
-            // Still background-only: the running job (if chained) is no
-            // longer alone, but its truncated slice boundary can stay
-            // virtual — same key, no heap event.
-            self.truncate_chain_to_bound(node);
-        } else {
-            // A stage job makes the node externally consequential: any
-            // elided boundary or chain link re-materializes as a real
-            // event in its reserved tie-break slot.
-            self.materialize_bound(node);
-            self.truncate_chain(node);
-        }
-        self.nodes[node.index()].sched.enqueue(id, priority);
-        self.try_dispatch(now, node);
-    }
-
-    /// Frees a job slot, returning the job. The id becomes eligible for
-    /// reuse by the next admission.
-    #[inline]
-    fn remove_job(&mut self, id: JobId) -> Option<Job> {
-        let job = self.jobs[id.index()].take();
-        if let Some(j) = &job {
-            self.free_jobs.push(id.0);
-            if j.kind.is_stage() {
-                self.stage_jobs[j.node.index()] -= 1;
-            }
-        }
-        job
-    }
-
-    /// Re-materializes a node's pending elided dispatch as a real event,
-    /// in its reserved tie-break position: another job arrived, so
-    /// round-robin interleaving must resume at the next quantum boundary
-    /// exactly as it would have without elision.
-    fn truncate_chain(&mut self, node: NodeId) {
-        if let Some(link) = self.chains[node.index()].take() {
-            let h = self
-                .queue
-                .schedule_at_seq(link.next_at, link.next_seq, Ev::Dispatch { node });
-            let r = self.nodes[node.index()]
-                .running
-                .as_mut()
-                .expect("chained node has a running job");
-            r.slice_end = link.next_at;
-            r.dispatch_handle = Some(h);
-        }
-    }
-
-    /// Like [`Self::truncate_chain`], but the truncated slice boundary
-    /// stays virtual: on a background-only node the dispatch at
-    /// `link.next_at` has no external observer, so its `(time, seq)` key
-    /// moves from the chain to the boundary lane instead of the heap.
-    /// The chain's heap entry goes stale; the key is unchanged, so event
-    /// order — and hence every RNG draw and output byte — is too.
-    fn truncate_chain_to_bound(&mut self, node: NodeId) {
-        if let Some(link) = self.chains[node.index()].take() {
-            self.bg_bounds[node.index()] = Some((link.next_at, link.next_seq));
-            self.lanes
-                .push(link.next_at, link.next_seq, LaneRef::Bound(node.index() as u32));
-            let r = self.nodes[node.index()]
-                .running
-                .as_mut()
-                .expect("chained node has a running job");
-            r.slice_end = link.next_at;
-            debug_assert!(r.dispatch_handle.is_none(), "chained node had a heap dispatch");
-        }
-    }
-
-    /// Re-materializes a node's elided background slice boundary as a
-    /// real `Dispatch` in its reserved tie-break slot: a stage job was
-    /// admitted, so from here on the node's scheduling is externally
-    /// observable and runs on real events.
-    fn materialize_bound(&mut self, node: NodeId) {
-        if let Some((at, seq)) = self.bg_bounds[node.index()].take() {
-            let h = self.queue.schedule_at_seq(at, seq, Ev::Dispatch { node });
-            let r = self.nodes[node.index()]
-                .running
-                .as_mut()
-                .expect("bounded node has a running job");
-            debug_assert_eq!(r.slice_end, at, "boundary key drifted from the running slice");
-            r.dispatch_handle = Some(h);
+        let Cluster { kernel, dispatch, net, fault, load, tasks, .. } = self;
+        match ev {
+            Ev::Dispatch { node } => dispatch.on_dispatch(kernel, tasks, net, now, node),
+            Ev::BgPoll { gen } => load.on_bg_poll(kernel, dispatch, tasks, now, gen),
+            Ev::TxComplete => net.on_tx_complete(kernel, tasks, now),
+            Ev::Deliver { msg } => net.on_deliver(kernel, dispatch, tasks, now, msg),
+            Ev::NodeFail { node } => fault.on_node_fail(kernel, dispatch, tasks, now, node),
+            Ev::NodeCrash { node } => fault.on_node_crash(kernel, dispatch, net, tasks, now, node),
+            Ev::NodeRestart { node } => fault.on_node_restart(kernel, dispatch, load, now, node),
+            Ev::RetxTimeout { orig } => net.on_retx_timeout(kernel, dispatch, tasks, now, orig),
+            Ev::PeriodRelease { .. } | Ev::ClockSync | Ev::Sample => unreachable!("handled above"),
         }
     }
 
@@ -1487,129 +441,133 @@ impl Cluster {
     #[inline]
     fn peek_lane(&mut self) -> Option<(SimTime, u64, LaneRef)> {
         loop {
-            let e = self.lanes.peek()?;
+            let e = self.kernel.lanes.peek()?;
             let live = match e.lane {
-                LaneRef::Chain(i) => self.chains[i as usize]
+                LaneRef::Chain(i) => self.dispatch.chains[i as usize]
                     .is_some_and(|l| l.next_seq == e.seq),
-                LaneRef::Poll(g) => self.polls[g as usize]
+                LaneRef::Poll(g) => self.load.polls[g as usize]
                     .next
                     .is_some_and(|(_, s)| s == e.seq),
-                LaneRef::Bound(i) => self.bg_bounds[i as usize]
+                LaneRef::Bound(i) => self.dispatch.bg_bounds[i as usize]
                     .is_some_and(|(_, s)| s == e.seq),
             };
             if live {
                 return Some((e.at, e.seq, e.lane));
             }
-            self.lanes.pop();
+            self.kernel.lanes.pop();
         }
     }
 
-    /// Fires one elided intermediate dispatch. For the lone job this is a
-    /// state no-op (serve one quantum, requeue into an empty queue, pick
-    /// itself back), so only its bookkeeping is replayed: the dispatch
-    /// that handler would have scheduled takes the next sequence number,
-    /// now. The chain's last link — the job's completion, which has real
-    /// effects — keeps `next_at == completion` and is fired by the run
-    /// loop as a direct handler call, never touching the heap.
-    fn advance_chain(&mut self, i: usize) {
-        let link = self.chains[i].expect("chain link exists");
-        debug_assert!(link.next_at < link.completion, "final link fired as intermediate");
-        self.queue.advance_now(link.next_at);
-        let next = (link.next_at + link.quantum).min(link.completion);
-        let next_seq = self.queue.alloc_seq();
-        self.chains[i] = Some(DispatchChain {
-            next_at: next,
-            next_seq,
-            ..link
-        });
-        // The fired link's entry is still the heap top (the run loop
-        // peeks, it does not pop): rekey it to the next link in place.
-        self.lanes
-            .rekey_top(link.next_seq, next, next_seq, LaneRef::Chain(i as u32));
-        if let Some(p) = self.perf.as_mut() {
-            p.report.elided_dispatches += 1;
-        }
-    }
+    // ------------------------------------------------------------------
+    // Period boundary: the one event the composition root handles itself,
+    // because it is where the controller meets the engines.
+    // ------------------------------------------------------------------
 
-    fn try_dispatch(&mut self, now: SimTime, node: NodeId) {
-        let (jid, lone, quantum) = {
-            let n = &mut self.nodes[node.index()];
-            if n.running.is_some() {
-                return;
-            }
-            match n.sched.pick() {
-                Some(jid) => (jid, n.sched.ready_len() == 0, n.sched.quantum()),
-                None => {
-                    n.end_busy(now);
-                    return;
-                }
-            }
+    fn on_period_release(&mut self, now: SimTime, task: TaskId, index: u64) {
+        // 1. Let the controller react to everything that completed.
+        self.run_controller(now);
+
+        // 2. Draw this period's workload.
+        let tracks = (self.tasks.workloads[task.index()])(index);
+        self.tasks.tasks[task.index()].last_tracks = tracks;
+
+        // 3. Admission: shed if too many instances are still in flight.
+        let in_flight = self.tasks.tasks[task.index()].instances.len();
+        let placement = self.tasks.tasks[task.index()].placement.clone();
+        let replicas: Vec<u32> = placement.iter().map(|p| p.len() as u32).collect();
+        let rec = PeriodRecord {
+            instance: index,
+            released: now,
+            tracks,
+            replicas_per_stage: replicas,
+            end_to_end: None,
+            missed: None,
+            shed: false,
         };
-        let job = self.jobs[jid.index()].as_mut().expect("picked job exists");
-        if job.first_dispatch.is_none() {
-            job.first_dispatch = Some(now);
+        let rec_i = self.kernel.metrics.periods.len();
+        self.kernel.metrics.periods.push(rec);
+        self.tasks.record_idx.insert((task, index), rec_i);
+
+        if in_flight >= self.kernel.config.max_in_flight {
+            self.kernel
+                .record_trace(now, TraceEvent::Shed { instance: index });
+            let rec = &mut self.kernel.metrics.periods[rec_i];
+            rec.shed = true;
+            rec.missed = Some(true);
+            self.tasks.pending_obs.push(PeriodObservation {
+                task,
+                instance: index,
+                released: now,
+                tracks,
+                end_to_end: None,
+                missed: true,
+                stages: Vec::new(),
+            });
+        } else {
+            // 4. Release: instantiate and start the first stage.
+            self.kernel
+                .record_trace(now, TraceEvent::Release { instance: index, tracks });
+            let inst = InstanceState::new(index, now, tracks, placement);
+            self.tasks.tasks[task.index()].instances.insert(index, inst);
+            self.tasks.start_stage(
+                &mut self.kernel,
+                &mut self.dispatch,
+                now,
+                task,
+                index,
+                SubtaskIdx(0),
+            );
         }
-        let remaining = job.remaining;
-        // Fast path, background-only node: the coming slice boundary has
-        // no external observer, so it is carried on the boundary lane
-        // instead of the heap (the chain arm below is already heap-free).
-        let bg_only = self.bg_ff && self.stage_jobs[node.index()] == 0;
-        let (slice_end, handle) = match quantum {
-            // A lone job spanning several quanta: every intermediate
-            // dispatch would requeue into an empty queue and pick the
-            // same job back, so the whole run is carried on the virtual
-            // chain. The first elided dispatch would be scheduled right
-            // here; its sequence number is allocated right here.
-            Some(q) if lone && remaining > q => {
-                let completion = now + remaining;
-                let next_at = now + q;
-                let next_seq = self.queue.alloc_seq();
-                self.chains[node.index()] = Some(DispatchChain {
-                    next_at,
-                    next_seq,
-                    completion,
-                    quantum: q,
-                });
-                self.lanes.push(next_at, next_seq, LaneRef::Chain(node.index() as u32));
-                (completion, None)
-            }
-            Some(q) => {
-                let end = now + q.min(remaining);
-                if bg_only {
-                    (end, self.elide_bound(end, node))
-                } else {
-                    (end, Some(self.queue.schedule(end, Ev::Dispatch { node })))
-                }
-            }
-            None => {
-                let end = now + remaining;
-                if bg_only {
-                    (end, self.elide_bound(end, node))
-                } else {
-                    (end, Some(self.queue.schedule(end, Ev::Dispatch { node })))
-                }
-            }
+
+        // 5. Schedule the next release on the nominal grid plus jitter
+        // (jitter never accumulates: it is applied to the grid point, not
+        // to the previous jittered release).
+        let nominal = SimTime::ZERO + self.tasks.tasks[task.index()].spec.period * (index + 1);
+        let jitter = if self.kernel.config.release_jitter_us > 0 {
+            SimDuration::from_micros(self.kernel.rng.below(self.kernel.config.release_jitter_us + 1))
+        } else {
+            SimDuration::ZERO
         };
-        let n = &mut self.nodes[node.index()];
-        n.running = Some(Running {
-            job: jid,
-            slice_start: now,
-            slice_end,
-            dispatch_handle: handle,
-        });
-        n.begin_busy(now);
+        let next = nominal + jitter;
+        if next <= self.kernel.horizon() {
+            // max(now): a jittered previous release can never push the
+            // next one into the simulated past.
+            self.kernel
+                .queue
+                .schedule(next.max(now), Ev::PeriodRelease { task, index: index + 1 });
+        }
     }
 
-    /// Arms the boundary lane for a background-only node's slice end and
-    /// returns the (absent) dispatch handle. The seq is allocated at the
-    /// exact program point where the slow path would `schedule`, keeping
-    /// tie-break order bit-identical.
-    #[inline]
-    fn elide_bound(&mut self, end: SimTime, node: NodeId) -> Option<crate::event::EventHandle> {
-        let seq = self.queue.alloc_seq();
-        self.bg_bounds[node.index()] = Some((end, seq));
-        self.lanes.push(end, seq, LaneRef::Bound(node.index() as u32));
-        None
+    fn on_clock_sync(&mut self, now: SimTime) {
+        let k = &mut self.kernel;
+        k.clocks.sync_round(now, &mut k.rng);
+        let next = now + k.config.clock.sync_interval;
+        if next <= SimTime::ZERO + k.config.horizon {
+            k.queue.schedule(next, Ev::ClockSync);
+        }
+    }
+
+    fn on_sample(&mut self, now: SimTime) {
+        let row: Vec<f64> = self
+            .dispatch
+            .nodes
+            .iter_mut()
+            .map(|n| n.sample_utilization(now))
+            .collect();
+        self.kernel.metrics.cpu_samples.push(row);
+        let bus_busy = self.net.bus.busy_total(now);
+        let interval = now.saturating_since(self.net.sampled_at);
+        if !interval.is_zero() {
+            let u = bus_busy.saturating_sub(self.net.sampled_bus_busy).as_secs_f64()
+                / interval.as_secs_f64();
+            self.kernel.metrics.net_samples.push(u);
+        }
+        self.net.sampled_bus_busy = bus_busy;
+        self.net.sampled_at = now;
+        let next = now + self.kernel.config.sample_interval;
+        if next <= self.kernel.horizon() {
+            self.kernel.queue.schedule(next, Ev::Sample);
+        }
     }
 
     fn run_controller(&mut self, now: SimTime) {
@@ -1617,7 +575,7 @@ impl Cluster {
         // buffer: both vectors keep their capacity across control epochs.
         let mut obs = std::mem::take(&mut self.obs_scratch);
         obs.clear();
-        std::mem::swap(&mut obs, &mut self.pending_obs);
+        std::mem::swap(&mut obs, &mut self.tasks.pending_obs);
 
         // Reuse one ControlContext for the whole run. The per-task static
         // fields (replicability, periods, deadlines) are built exactly
@@ -1625,41 +583,43 @@ impl Cluster {
         // Arc clones of the runtimes' current placement — no deep copy.
         let mut ctx = self.ctx_scratch.take().unwrap_or_else(|| ControlContext {
             now,
-            node_util_pct: Vec::with_capacity(self.nodes.len()),
-            alive: Vec::with_capacity(self.nodes.len()),
-            cold: Vec::with_capacity(self.nodes.len()),
-            placements: Vec::with_capacity(self.tasks.len()),
+            node_util_pct: Vec::with_capacity(self.dispatch.nodes.len()),
+            alive: Vec::with_capacity(self.dispatch.nodes.len()),
+            cold: Vec::with_capacity(self.dispatch.nodes.len()),
+            placements: Vec::with_capacity(self.tasks.tasks.len()),
             replicable: self
+                .tasks
                 .tasks
                 .iter()
                 .map(|t| t.spec.stages.iter().map(|s| s.replicable).collect())
                 .collect(),
-            periods: self.tasks.iter().map(|t| t.spec.period).collect(),
-            deadlines: self.tasks.iter().map(|t| t.spec.deadline).collect(),
-            last_tracks: Vec::with_capacity(self.tasks.len()),
+            periods: self.tasks.tasks.iter().map(|t| t.spec.period).collect(),
+            deadlines: self.tasks.tasks.iter().map(|t| t.spec.deadline).collect(),
+            last_tracks: Vec::with_capacity(self.tasks.tasks.len()),
         });
         ctx.now = now;
         ctx.node_util_pct.clear();
         ctx.node_util_pct
-            .extend(self.nodes.iter().map(|n| n.observed_utilization_pct()));
+            .extend(self.dispatch.nodes.iter().map(|n| n.observed_utilization_pct()));
         ctx.alive.clear();
-        ctx.alive.extend(self.nodes.iter().map(|n| n.alive));
+        ctx.alive.extend(self.dispatch.nodes.iter().map(|n| n.alive));
         ctx.cold.clear();
-        ctx.cold.extend(self.nodes.iter().map(|n| n.is_cold()));
+        ctx.cold.extend(self.dispatch.nodes.iter().map(|n| n.is_cold()));
         ctx.placements.clear();
         ctx.placements
-            .extend(self.tasks.iter().map(|t| Arc::clone(&t.placement)));
+            .extend(self.tasks.tasks.iter().map(|t| Arc::clone(&t.placement)));
         ctx.last_tracks.clear();
-        ctx.last_tracks.extend(self.tasks.iter().map(|t| t.last_tracks));
+        ctx.last_tracks
+            .extend(self.tasks.tasks.iter().map(|t| t.last_tracks));
 
-        let actions = match self.perf.as_ref().map(|p| p.alloc_probe) {
+        let actions = match self.kernel.perf.as_ref().map(|p| p.alloc_probe) {
             None => self.controller.on_period_boundary(&obs, &ctx),
             Some(probe) => {
                 let alloc0 = probe.map(|f| f());
                 let t0 = std::time::Instant::now();
                 let actions = self.controller.on_period_boundary(&obs, &ctx);
                 let dt = t0.elapsed().as_nanos() as u64;
-                if let Some(p) = self.perf.as_mut() {
+                if let Some(p) = self.kernel.perf.as_mut() {
                     p.report.control_epochs += 1;
                     p.report.controller_ns += dt;
                     if let (Some(a0), Some(f)) = (alloc0, probe) {
@@ -1672,22 +632,23 @@ impl Cluster {
         for a in actions {
             match a {
                 ControlAction::SetPlacement { task, subtask, nodes } => {
-                    if task.index() >= self.tasks.len()
+                    if task.index() >= self.tasks.tasks.len()
                         || nodes.iter().any(|n| {
-                            n.index() >= self.config.n_nodes || !self.nodes[n.index()].alive
+                            n.index() >= self.kernel.config.n_nodes
+                                || !self.dispatch.nodes[n.index()].alive
                         })
                     {
-                        self.metrics.rejected_actions += 1;
+                        self.kernel.metrics.rejected_actions += 1;
                         continue;
                     }
-                    let rt = &mut self.tasks[task.index()];
+                    let rt = &mut self.tasks.tasks[task.index()];
                     let before = rt.placement.get(subtask.index()).cloned();
-                    match rt.set_placement(subtask, nodes, self.config.n_nodes) {
+                    match rt.set_placement(subtask, nodes, self.kernel.config.n_nodes) {
                         Ok(()) => {
                             if before.as_deref() != Some(&rt.placement[subtask.index()]) {
-                                self.metrics.placement_changes += 1;
+                                self.kernel.metrics.placement_changes += 1;
                                 let new_nodes = rt.placement[subtask.index()].clone();
-                                self.record_trace(
+                                self.kernel.record_trace(
                                     now,
                                     TraceEvent::Placement {
                                         stage: StageId::new(task, subtask),
@@ -1696,7 +657,7 @@ impl Cluster {
                                 );
                             }
                         }
-                        Err(_) => self.metrics.rejected_actions += 1,
+                        Err(_) => self.kernel.metrics.rejected_actions += 1,
                     }
                 }
             }
@@ -1706,830 +667,117 @@ impl Cluster {
     }
 
     fn finalize(&mut self, horizon: SimTime) {
-        self.metrics.horizon = horizon.since(SimTime::ZERO);
-        self.metrics.forecast_residuals = self.controller.forecast_residuals();
-        self.metrics.cpu_lifetime_util = self
+        self.kernel.metrics.horizon = horizon.since(SimTime::ZERO);
+        self.kernel.metrics.forecast_residuals = self.controller.forecast_residuals();
+        self.kernel.metrics.cpu_lifetime_util = self
+            .dispatch
             .nodes
             .iter()
             .map(|n| n.lifetime_utilization(horizon))
             .collect();
-        self.metrics.net_lifetime_util = self.bus.lifetime_utilization(horizon);
-        self.metrics.bytes_offered = self.bus.bytes_offered;
-        self.metrics.messages_offered = self.bus.messages_offered;
+        self.kernel.metrics.net_lifetime_util = self.net.bus.lifetime_utilization(horizon);
+        self.kernel.metrics.bytes_offered = self.net.bus.bytes_offered;
+        self.kernel.metrics.messages_offered = self.net.bus.messages_offered;
         // Decide instances that were still running: if their deadline has
         // already passed at the horizon, they have certainly missed.
-        for rt in &self.tasks {
+        for rt in &self.tasks.tasks {
             for inst in rt.instances.values() {
                 if horizon > inst.released + rt.spec.deadline {
-                    if let Some(&i) = self.record_idx.get(&(rt.spec.id, inst.instance)) {
-                        self.metrics.periods[i].missed = Some(true);
+                    if let Some(&i) = self.tasks.record_idx.get(&(rt.spec.id, inst.instance)) {
+                        self.kernel.metrics.periods[i].missed = Some(true);
                     }
                 }
             }
+        }
+    }
+}
+
+impl ClusterApi for Cluster {
+    fn config(&self) -> &ClusterConfig {
+        &self.kernel.config
+    }
+
+    fn add_task(&mut self, spec: TaskSpec, workload: WorkloadFn) {
+        assert_eq!(
+            spec.id.index(),
+            self.tasks.tasks.len(),
+            "task id must equal insertion index"
+        );
+        if let Err(e) = spec.validate(self.kernel.config.n_nodes) {
+            panic!("invalid task spec: {e}");
+        }
+        self.tasks.tasks.push(crate::pipeline::TaskRuntime::new(spec));
+        self.tasks.workloads.push(workload);
+    }
+
+    fn add_load(&mut self, gen: Box<dyn LoadGenerator>) {
+        assert!(
+            gen.node().index() < self.kernel.config.n_nodes,
+            "load generator targets nonexistent node"
+        );
+        if let Err(e) = gen.validate() {
+            panic!("invalid load generator config: {e}");
+        }
+        self.load.gens.push(gen);
+        self.load.polls.push(crate::engine::load::PollLane::default());
+    }
+
+    fn set_controller(&mut self, controller: Box<dyn Controller>) {
+        self.controller = controller;
+    }
+
+    fn enable_trace(&mut self, capacity: usize) {
+        self.kernel.trace = Some(TraceSink::bounded(capacity));
+    }
+
+    fn enable_perf(&mut self, alloc_probe: Option<fn() -> u64>) {
+        self.kernel.perf = Some(Box::new(PerfState::new(alloc_probe)));
+    }
+
+    fn fail_node_at(&mut self, node: NodeId, at: SimTime) {
+        assert!(
+            node.index() < self.kernel.config.n_nodes,
+            "no such node {node}"
+        );
+        assert!(at <= self.kernel.horizon(), "failure beyond horizon");
+        self.kernel.queue.schedule(at, Ev::NodeFail { node });
+    }
+
+    fn crash_node_at(&mut self, node: NodeId, at: SimTime, restart_after: Option<SimDuration>) {
+        assert!(
+            node.index() < self.kernel.config.n_nodes,
+            "no such node {node}"
+        );
+        assert!(at <= self.kernel.horizon(), "crash beyond horizon");
+        self.kernel.queue.schedule(at, Ev::NodeCrash { node });
+        if let Some(d) = restart_after {
+            assert!(!d.is_zero(), "zero restart delay");
+            let back = at + d;
+            if back <= self.kernel.horizon() {
+                self.kernel.queue.schedule(back, Ev::NodeRestart { node });
+            }
+        }
+    }
+
+    fn run(mut self) -> RunOutcome {
+        self.run_to_horizon();
+        let perf = self.kernel.perf.take().map(|mut p| {
+            p.report.queue = self.kernel.queue.stats();
+            p.report.wall_ns = p
+                .run_started
+                .map(|s| s.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            p.report
+        });
+        RunOutcome {
+            metrics: self.kernel.metrics,
+            controller: self.controller.name(),
+            trace: self.kernel.trace,
+            perf,
         }
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::load::PeriodicLoad;
-    use crate::net::JamWindow;
-    use crate::pipeline::{PolynomialCost, StageSpec};
-
-    fn tiny_task(stage_costs: &[(f64, bool, u32)]) -> TaskSpec {
-        TaskSpec {
-            id: TaskId(0),
-            name: "test".into(),
-            period: SimDuration::from_secs(1),
-            deadline: SimDuration::from_millis(990),
-            track_bytes: 80,
-            stages: stage_costs
-                .iter()
-                .map(|&(lin, replicable, home)| StageSpec {
-                    name: format!("s{home}"),
-                    cost: PolynomialCost::linear(lin, 1.0),
-                    replicable,
-                    home: NodeId(home),
-                    output_bytes_per_track: 80.0,
-                })
-                .collect(),
-        }
-    }
-
-    fn config(horizon_s: u64) -> ClusterConfig {
-        let mut c = ClusterConfig::paper_baseline(42, SimDuration::from_secs(horizon_s));
-        c.clock = ClockConfig::perfect();
-        c
-    }
-
-    #[test]
-    fn empty_cluster_runs_to_horizon() {
-        let out = Cluster::new(config(5)).run();
-        assert_eq!(out.metrics.horizon, SimDuration::from_secs(5));
-        assert!(out.metrics.periods.is_empty());
-        assert_eq!(out.controller, "none");
-        assert!(out.metrics.cpu_lifetime_util.iter().all(|&u| u == 0.0));
-    }
-
-    #[test]
-    fn single_stage_task_completes_every_period() {
-        let mut cl = Cluster::new(config(10));
-        cl.add_task(tiny_task(&[(1.0, false, 0)]), Box::new(|_| 500));
-        let out = cl.run();
-        // 10 s horizon, 1 s period, releases at 0..=10.
-        assert_eq!(out.metrics.periods.len(), 11);
-        let decided = out.metrics.periods.iter().filter(|p| p.missed.is_some()).count();
-        assert!(decided >= 10);
-        for p in out.metrics.periods.iter().take(10) {
-            assert_eq!(p.missed, Some(false), "unloaded stage must meet 990ms");
-            let l = p.end_to_end.unwrap();
-            // 500 tracks = 5 hundreds * 1 ms + 1 ms const = 6 ms of demand.
-            assert!(l >= SimDuration::from_millis(6), "latency {l}");
-            assert!(l < SimDuration::from_millis(20), "latency {l}");
-        }
-    }
-
-    #[test]
-    fn pipeline_stages_run_in_series_across_nodes() {
-        let mut cl = Cluster::new(config(6));
-        cl.add_task(
-            tiny_task(&[(1.0, false, 0), (1.0, false, 1), (1.0, false, 2)]),
-            Box::new(|_| 1000),
-        );
-        let out = cl.run();
-        let p = &out.metrics.periods[0];
-        // 3 stages x (10 + 1) ms demand plus 2 network hops
-        // (80 KB ≈ 6.7 ms wire time each).
-        let l = p.end_to_end.unwrap();
-        assert!(l >= SimDuration::from_millis(33 + 12), "latency {l}");
-        assert!(l < SimDuration::from_millis(120), "latency {l}");
-        assert_eq!(p.missed, Some(false));
-        // Network was actually used.
-        assert!(out.metrics.net_lifetime_util > 0.0);
-        assert!(out.metrics.bytes_offered >= 2 * 80_000);
-    }
-
-    #[test]
-    fn deterministic_across_identical_runs() {
-        let run = || {
-            let mut cl = Cluster::new(config(8));
-            cl.add_task(
-                tiny_task(&[(2.0, false, 0), (3.0, false, 1)]),
-                Box::new(|i| 300 + 40 * i),
-            );
-            cl.add_load(Box::new(PeriodicLoad::new(
-                crate::ids::LoadGenId(0),
-                NodeId(0),
-                SimDuration::from_millis(10),
-                0.3,
-            )));
-            cl.run()
-        };
-        let a = run();
-        let b = run();
-        let lat = |o: &RunOutcome| -> Vec<Option<SimDuration>> {
-            o.metrics.periods.iter().map(|p| p.end_to_end).collect()
-        };
-        assert_eq!(lat(&a), lat(&b));
-        assert_eq!(a.metrics.cpu_lifetime_util, b.metrics.cpu_lifetime_util);
-    }
-
-    #[test]
-    fn background_load_inflates_latency() {
-        let latency_with_bg = |util: f64| {
-            let mut cl = Cluster::new(config(20));
-            cl.add_task(tiny_task(&[(10.0, false, 0)]), Box::new(|_| 1000));
-            if util > 0.0 {
-                cl.add_load(Box::new(PeriodicLoad::new(
-                    crate::ids::LoadGenId(0),
-                    NodeId(0),
-                    SimDuration::from_millis(10),
-                    util,
-                )));
-            }
-            let out = cl.run();
-            let ls: Vec<f64> = out
-                .metrics
-                .periods
-                .iter()
-                .filter_map(|p| p.end_to_end.map(|d| d.as_millis_f64()))
-                .collect();
-            ls.iter().sum::<f64>() / ls.len() as f64
-        };
-        let l0 = latency_with_bg(0.0);
-        let l50 = latency_with_bg(0.5);
-        let l80 = latency_with_bg(0.8);
-        // Demand is ~101 ms; under RR with duty-cycle load the job is
-        // stretched roughly by 1/(1-u).
-        assert!(l50 > 1.6 * l0, "50% load should stretch: {l0} -> {l50}");
-        assert!(l80 > 3.0 * l0, "80% load should stretch: {l0} -> {l80}");
-        assert!(l50 < 3.0 * l0, "stretch should stay near 2x: {l0} -> {l50}");
-    }
-
-    #[test]
-    fn replicated_stage_fans_out_and_joins() {
-        struct Replicator;
-        impl Controller for Replicator {
-            fn on_period_boundary(
-                &mut self,
-                _c: &[PeriodObservation],
-                ctx: &ControlContext,
-            ) -> Vec<ControlAction> {
-                // Pin stage 1 to three replicas from the start.
-                if ctx.placements[0][1].len() == 1 {
-                    vec![ControlAction::SetPlacement {
-                        task: TaskId(0),
-                        subtask: SubtaskIdx(1),
-                        nodes: vec![NodeId(1), NodeId(2), NodeId(3)],
-                    }]
-                } else {
-                    Vec::new()
-                }
-            }
-            fn name(&self) -> &'static str {
-                "replicator"
-            }
-        }
-        let mut spec = tiny_task(&[(1.0, false, 0), (0.0, true, 1), (1.0, false, 4)]);
-        // Quadratic cost on the replicable middle stage.
-        spec.stages[1].cost = PolynomialCost::new(1.0, 0.0, 1.0);
-        let mk = |replicated: bool| {
-            let mut cl = Cluster::new(config(10));
-            cl.add_task(spec.clone(), Box::new(|_| 3000));
-            if replicated {
-                cl.set_controller(Box::new(Replicator));
-            }
-            cl.run()
-        };
-        let base = mk(false);
-        let repl = mk(true);
-        let avg = |o: &RunOutcome| {
-            let ls: Vec<f64> = o
-                .metrics
-                .periods
-                .iter()
-                .skip(2) // let the placement change take effect
-                .filter_map(|p| p.end_to_end.map(|d| d.as_millis_f64()))
-                .collect();
-            ls.iter().sum::<f64>() / ls.len() as f64
-        };
-        // Quadratic stage: 30 hundreds -> 900 ms solo; in 3 replicas of 10
-        // hundreds each -> 100 ms. End-to-end must drop dramatically.
-        assert!(
-            avg(&repl) < 0.5 * avg(&base),
-            "replication must cut latency: {} vs {}",
-            avg(&repl),
-            avg(&base)
-        );
-        assert_eq!(repl.metrics.placement_changes, 1);
-        // Replica counts recorded in the period records.
-        assert!(repl
-            .metrics
-            .periods
-            .iter()
-            .skip(2)
-            .all(|p| p.replicas_per_stage[1] == 3));
-    }
-
-    #[test]
-    fn overload_sheds_and_counts_missed() {
-        // One stage with demand far beyond the period on one node.
-        let mut spec = tiny_task(&[(0.0, false, 0)]);
-        spec.stages[0].cost = PolynomialCost::new(0.0, 0.0, 5_000.0); // 5 s
-        let mut cl = Cluster::new(config(30));
-        cl.add_task(spec, Box::new(|_| 100));
-        let out = cl.run();
-        let shed = out.metrics.periods.iter().filter(|p| p.shed).count();
-        assert!(shed > 10, "sustained overload must shed ({shed})");
-        let missed = out
-            .metrics
-            .periods
-            .iter()
-            .filter(|p| p.missed == Some(true))
-            .count();
-        assert!(missed >= shed);
-    }
-
-    #[test]
-    fn invalid_controller_actions_are_rejected_not_fatal() {
-        struct Bad;
-        impl Controller for Bad {
-            fn on_period_boundary(
-                &mut self,
-                _c: &[PeriodObservation],
-                _ctx: &ControlContext,
-            ) -> Vec<ControlAction> {
-                vec![
-                    ControlAction::SetPlacement {
-                        task: TaskId(0),
-                        subtask: SubtaskIdx(0),
-                        nodes: vec![NodeId(0), NodeId(1)], // not replicable
-                    },
-                    ControlAction::SetPlacement {
-                        task: TaskId(9),
-                        subtask: SubtaskIdx(0),
-                        nodes: vec![NodeId(0)], // no such task
-                    },
-                ]
-            }
-            fn name(&self) -> &'static str {
-                "bad"
-            }
-        }
-        let mut cl = Cluster::new(config(3));
-        cl.add_task(tiny_task(&[(1.0, false, 0)]), Box::new(|_| 100));
-        cl.set_controller(Box::new(Bad));
-        let out = cl.run();
-        assert!(out.metrics.rejected_actions >= 2);
-        assert_eq!(out.metrics.placement_changes, 0);
-        assert!(out.metrics.periods.iter().take(3).all(|p| p.missed == Some(false)));
-    }
-
-    #[test]
-    fn cpu_utilization_metric_reflects_offered_load() {
-        let mut cl = Cluster::new(config(30));
-        cl.add_load(Box::new(PeriodicLoad::new(
-            crate::ids::LoadGenId(0),
-            NodeId(2),
-            SimDuration::from_millis(10),
-            0.42,
-        )));
-        let out = cl.run();
-        let u = out.metrics.cpu_lifetime_util[2];
-        assert!((u - 0.42).abs() < 0.02, "node 2 utilization {u}");
-        assert!(out.metrics.cpu_lifetime_util[0] < 0.01);
-        // Sampled (EWMA inputs) utilization rows were collected.
-        assert!(out.metrics.cpu_samples.len() > 100);
-    }
-
-    #[test]
-    #[should_panic(expected = "task id must equal insertion index")]
-    fn add_task_enforces_dense_ids() {
-        let mut cl = Cluster::new(config(1));
-        let mut s = tiny_task(&[(1.0, false, 0)]);
-        s.id = TaskId(3);
-        cl.add_task(s, Box::new(|_| 0));
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid task spec")]
-    fn add_task_validates_spec() {
-        let mut cl = Cluster::new(config(1));
-        cl.add_task(tiny_task(&[(1.0, false, 17)]), Box::new(|_| 0));
-    }
-
-    #[test]
-    fn replicated_predecessor_fans_into_narrow_successor() {
-        // Stage 1 has 3 replicas, stage 2 has 1: three messages must all
-        // arrive before stage 2 runs, and stage 2 must see the full stream.
-        struct Pin;
-        impl Controller for Pin {
-            fn on_period_boundary(
-                &mut self,
-                _c: &[PeriodObservation],
-                ctx: &ControlContext,
-            ) -> Vec<ControlAction> {
-                if ctx.placements[0][1].len() == 1 {
-                    vec![ControlAction::SetPlacement {
-                        task: TaskId(0),
-                        subtask: SubtaskIdx(1),
-                        nodes: vec![NodeId(1), NodeId(2), NodeId(3)],
-                    }]
-                } else {
-                    Vec::new()
-                }
-            }
-            fn name(&self) -> &'static str {
-                "pin"
-            }
-        }
-        let mut spec = tiny_task(&[(1.0, false, 0), (0.0, true, 1), (1.0, false, 4)]);
-        spec.stages[1].cost = PolynomialCost::linear(1.0, 1.0);
-        let mut cl = Cluster::new(config(8));
-        cl.add_task(spec, Box::new(|_| 3000));
-        cl.set_controller(Box::new(Pin));
-        let out = cl.run();
-        // Every settled period after the placement change completes and
-        // the final stage processed the whole 3000-track stream: its
-        // demand is 30 + 1 = 31 ms, so end-to-end comfortably exceeds it.
-        for p in out.metrics.periods.iter().skip(2).take(5) {
-            assert_eq!(p.missed, Some(false));
-            assert_eq!(p.replicas_per_stage, vec![1, 3, 1]);
-            assert!(p.end_to_end.unwrap() >= SimDuration::from_millis(31 + 10 + 31));
-        }
-        // 3 replicas -> messages fan 3-into-1 across two hops: at least
-        // 6 network messages per period after the change.
-        assert!(out.metrics.messages_offered >= 6 * 6);
-    }
-
-    #[test]
-    fn static_priority_shields_stage_jobs_from_background_load() {
-        // Stage jobs are admitted at priority 0, background at 1: under the
-        // static-priority policy the application barely notices heavy
-        // ambient load, unlike under round-robin.
-        let latency_under = |kind: SchedulerKind| {
-            let mut cfg = config(20);
-            cfg.scheduler = kind;
-            let mut cl = Cluster::new(cfg);
-            cl.add_task(tiny_task(&[(10.0, false, 0)]), Box::new(|_| 1_000));
-            cl.add_load(Box::new(PeriodicLoad::new(
-                crate::ids::LoadGenId(0),
-                NodeId(0),
-                SimDuration::from_millis(10),
-                0.7,
-            )));
-            let out = cl.run();
-            let ls: Vec<f64> = out
-                .metrics
-                .periods
-                .iter()
-                .filter_map(|p| p.end_to_end.map(|d| d.as_millis_f64()))
-                .collect();
-            ls.iter().sum::<f64>() / ls.len() as f64
-        };
-        let rr = latency_under(SchedulerKind::paper_baseline());
-        let prio = latency_under(SchedulerKind::StaticPriority {
-            quantum_us: Some(1_000),
-        });
-        // Demand is ~101 ms; RR at 70% load stretches toward ~3x, while
-        // priority keeps it near intrinsic (only the in-flight background
-        // job can block, non-preemptively).
-        assert!(prio < 1.3 * 101.0, "priority-shielded latency {prio}");
-        assert!(rr > 2.0 * prio, "rr {rr} vs priority {prio}");
-    }
-
-    #[test]
-    fn contention_backoff_inflates_network_time() {
-        // Enable a large CSMA backoff and fan one stage into three
-        // replicas: the extra contention intervals inflate end-to-end
-        // latency relative to the collision-free bus.
-        let run = |backoff_us: u64| {
-            let mut cfg = config(10);
-            cfg.bus.max_backoff_us = backoff_us;
-            let mut cl = Cluster::new(cfg);
-            let mut spec = tiny_task(&[(1.0, false, 0), (0.0, true, 1), (1.0, false, 4)]);
-            spec.stages[1].cost = PolynomialCost::linear(0.5, 1.0);
-            cl.add_task(spec, Box::new(|_| 6_000));
-            struct Pin;
-            impl Controller for Pin {
-                fn on_period_boundary(
-                    &mut self,
-                    _c: &[PeriodObservation],
-                    ctx: &ControlContext,
-                ) -> Vec<ControlAction> {
-                    if ctx.placements[0][1].len() == 1 {
-                        vec![ControlAction::SetPlacement {
-                            task: TaskId(0),
-                            subtask: SubtaskIdx(1),
-                            nodes: vec![NodeId(1), NodeId(2), NodeId(3)],
-                        }]
-                    } else {
-                        Vec::new()
-                    }
-                }
-                fn name(&self) -> &'static str {
-                    "pin"
-                }
-            }
-            cl.set_controller(Box::new(Pin));
-            let out = cl.run();
-            out.metrics
-                .periods
-                .iter()
-                .skip(2)
-                .filter_map(|p| p.end_to_end.map(|d| d.as_millis_f64()))
-                .sum::<f64>()
-        };
-        let clean = run(0);
-        let contended = run(20_000); // up to 20 ms per contention win
-        assert!(
-            contended > clean + 10.0,
-            "backoff must cost latency: {clean} vs {contended}"
-        );
-    }
-
-    #[test]
-    fn release_jitter_delays_arrivals_without_drift() {
-        let mut cfg = config(30);
-        cfg.release_jitter_us = 200_000; // up to 200 ms late
-        let mut cl = Cluster::new(cfg);
-        cl.add_task(tiny_task(&[(1.0, false, 0)]), Box::new(|_| 100));
-        let out = cl.run();
-        let mut jittered = 0;
-        for p in &out.metrics.periods {
-            let nominal = SimTime::from_secs(p.instance);
-            let offset = p.released.saturating_since(nominal);
-            assert!(
-                offset <= SimDuration::from_millis(200),
-                "jitter bounded: instance {} off by {offset}",
-                p.instance
-            );
-            assert!(p.released >= nominal, "never early");
-            if !offset.is_zero() {
-                jittered += 1;
-            }
-        }
-        assert!(jittered > 20, "most releases are jittered: {jittered}");
-        // Jitter never accumulates: the 25th release is within one jitter
-        // bound of its grid point (checked above for every instance).
-    }
-
-    #[test]
-    fn zero_jitter_keeps_exact_periodicity() {
-        let mut cl = Cluster::new(config(10));
-        cl.add_task(tiny_task(&[(1.0, false, 0)]), Box::new(|_| 100));
-        let out = cl.run();
-        for p in &out.metrics.periods {
-            assert_eq!(p.released, SimTime::from_secs(p.instance));
-        }
-    }
-
-    #[test]
-    fn zero_workload_periods_still_complete() {
-        let mut cl = Cluster::new(config(5));
-        cl.add_task(tiny_task(&[(1.0, false, 0), (1.0, false, 1)]), Box::new(|_| 0));
-        let out = cl.run();
-        for p in out.metrics.periods.iter().take(4) {
-            assert_eq!(p.missed, Some(false));
-            assert_eq!(p.tracks, 0);
-        }
-    }
-
-    /// Regression: crashing a node while it holds the bus used to leave a
-    /// stale `TxComplete` event behind that hit
-    /// `expect("tx_complete with idle bus")`. The crash must be tolerated
-    /// and the aborted message accounted as lost.
-    #[test]
-    fn crash_mid_transmission_is_tolerated_and_counted() {
-        // Stage 0 on p0 computes 31 ms then ships 240 KB (~20 ms wire
-        // time) to p1; crashing p0 at 40 ms lands mid-transmission.
-        let mut cl = Cluster::new(config(3));
-        cl.enable_trace(4096);
-        cl.add_task(tiny_task(&[(1.0, false, 0), (1.0, false, 1)]), Box::new(|_| 3000));
-        cl.crash_node_at(NodeId(0), SimTime::from_millis(40), None);
-        let out = cl.run();
-        assert!(out.metrics.messages_lost >= 1, "aborted in-flight message counts as lost");
-        let trace = out.trace.expect("trace enabled");
-        assert!(
-            trace.filtered(|e| matches!(e, TraceEvent::MessageLost { .. })).count() >= 1,
-            "loss is traced:\n{}",
-            trace.render()
-        );
-        // With the only first-stage processor gone, later periods miss.
-        assert!(out.metrics.periods.iter().any(|p| p.missed == Some(true)));
-    }
-
-    #[test]
-    fn crash_restart_rejoins_and_periods_recover() {
-        // p1 hosts the second stage. Crash it at 2.5 s, restart at 4.5 s:
-        // periods released in the outage window miss (their messages land
-        // on a dead node and count as lost), later ones complete again.
-        let mut cl = Cluster::new(config(10));
-        cl.enable_trace(4096);
-        cl.add_task(tiny_task(&[(1.0, false, 0), (1.0, false, 1)]), Box::new(|_| 500));
-        cl.crash_node_at(
-            NodeId(1),
-            SimTime::from_millis(2_500),
-            Some(SimDuration::from_secs(2)),
-        );
-        let out = cl.run();
-        assert_eq!(out.metrics.node_restarts, 1);
-        assert!(out.metrics.messages_lost >= 1, "dead-destination deliveries count as lost");
-        let trace = out.trace.expect("trace enabled");
-        assert_eq!(
-            trace
-                .filtered(|e| matches!(e, TraceEvent::NodeRestarted { node } if *node == NodeId(1)))
-                .count(),
-            1
-        );
-        for p in &out.metrics.periods {
-            let s = p.released.as_secs_f64();
-            if s < 2.0 {
-                assert_eq!(p.missed, Some(false), "pre-crash instance {}", p.instance);
-            } else if (3.0..4.0).contains(&s) {
-                assert_eq!(p.missed, Some(true), "outage instance {}", p.instance);
-            } else if (5.0..9.0).contains(&s) {
-                assert_eq!(p.missed, Some(false), "post-restart instance {}", p.instance);
-            }
-        }
-    }
-
-    #[test]
-    fn lossy_bus_with_retransmit_recovers() {
-        let mut cfg = config(20);
-        cfg.bus.drop_prob = 0.3;
-        cfg.bus.retx_timeout_us = 20_000;
-        cfg.bus.retx_max_retries = 6;
-        let mut cl = Cluster::new(cfg);
-        cl.add_task(tiny_task(&[(1.0, false, 0), (1.0, false, 1)]), Box::new(|_| 1000));
-        let out = cl.run();
-        assert!(out.metrics.messages_dropped > 0, "a 30% lossy bus drops something");
-        assert!(out.metrics.retransmits > 0, "drops trigger retransmissions");
-        let completed = out
-            .metrics
-            .periods
-            .iter()
-            .filter(|p| p.missed == Some(false))
-            .count();
-        assert!(
-            completed >= 18,
-            "retransmission recovers almost every period: {completed}/21"
-        );
-    }
-
-    #[test]
-    fn without_retransmit_losses_become_missed_deadlines() {
-        let mut cfg = config(20);
-        cfg.bus.drop_prob = 0.3; // no retx_timeout_us: losses are final
-        let mut cl = Cluster::new(cfg);
-        cl.add_task(tiny_task(&[(1.0, false, 0), (1.0, false, 1)]), Box::new(|_| 1000));
-        let out = cl.run();
-        assert!(out.metrics.messages_dropped > 0);
-        assert_eq!(out.metrics.retransmits, 0);
-        let missed = out
-            .metrics
-            .periods
-            .iter()
-            .filter(|p| p.missed == Some(true))
-            .count();
-        assert!(missed >= 2, "unrecovered losses must miss deadlines: {missed}");
-    }
-
-    #[test]
-    fn duplicates_are_suppressed_and_change_nothing() {
-        let run = |dup_prob: f64| {
-            let mut cfg = config(10);
-            cfg.bus.dup_prob = dup_prob;
-            let mut cl = Cluster::new(cfg);
-            cl.add_task(tiny_task(&[(1.0, false, 0), (1.0, false, 1)]), Box::new(|_| 1000));
-            cl.run()
-        };
-        let clean = run(0.0);
-        let dupped = run(1.0);
-        assert_eq!(clean.metrics.messages_duplicated, 0);
-        assert!(dupped.metrics.messages_duplicated > 0);
-        // Receiver-side suppression makes duplication behaviorally inert:
-        // every latency matches the clean run exactly.
-        let lat = |o: &RunOutcome| -> Vec<Option<SimDuration>> {
-            o.metrics.periods.iter().map(|p| p.end_to_end).collect()
-        };
-        assert_eq!(lat(&clean), lat(&dupped));
-    }
-
-    #[test]
-    fn jam_window_inflates_end_to_end_latency() {
-        let run = |jam: Option<JamWindow>| {
-            let mut cfg = config(10);
-            cfg.bus.jam = jam;
-            let mut cl = Cluster::new(cfg);
-            cl.add_task(tiny_task(&[(1.0, false, 0), (1.0, false, 1)]), Box::new(|_| 3000));
-            let out = cl.run();
-            let ls: Vec<f64> = out
-                .metrics
-                .periods
-                .iter()
-                .filter_map(|p| p.end_to_end.map(|d| d.as_millis_f64()))
-                .collect();
-            ls.iter().sum::<f64>() / ls.len() as f64
-        };
-        let clean = run(None);
-        let jammed = run(Some(JamWindow {
-            start_us: 0,
-            duration_us: 10_000_000,
-            bandwidth_factor: 0.25,
-            repeat_us: 0,
-        }));
-        // 240 KB at quarter bandwidth adds ~60 ms per period.
-        assert!(
-            jammed > clean + 40.0,
-            "jamming must stretch the wire: {clean} vs {jammed}"
-        );
-    }
-
-    #[test]
-    fn failure_realism_runs_are_deterministic() {
-        let run = || {
-            let mut cfg = config(15);
-            cfg.bus.drop_prob = 0.2;
-            cfg.bus.dup_prob = 0.1;
-            cfg.bus.retx_timeout_us = 20_000;
-            let mut cl = Cluster::new(cfg);
-            cl.add_task(tiny_task(&[(1.0, false, 0), (1.0, false, 1)]), Box::new(|_| 1000));
-            cl.crash_node_at(
-                NodeId(1),
-                SimTime::from_millis(4_200),
-                Some(SimDuration::from_secs(3)),
-            );
-            cl.run()
-        };
-        let a = run();
-        let b = run();
-        let lat = |o: &RunOutcome| -> Vec<Option<SimDuration>> {
-            o.metrics.periods.iter().map(|p| p.end_to_end).collect()
-        };
-        assert_eq!(lat(&a), lat(&b));
-        assert_eq!(a.metrics.messages_dropped, b.metrics.messages_dropped);
-        assert_eq!(a.metrics.messages_duplicated, b.metrics.messages_duplicated);
-        assert_eq!(a.metrics.retransmits, b.metrics.retransmits);
-        assert_eq!(a.metrics.messages_lost, b.metrics.messages_lost);
-    }
-
-    /// Mean of node `n`'s sampled utilization over sample rows
-    /// `[from, to)` (rows land every 100 ms).
-    fn mean_util(out: &RunOutcome, node: usize, from: usize, to: usize) -> f64 {
-        let rows = &out.metrics.cpu_samples[from..to];
-        rows.iter().map(|r| r[node]).sum::<f64>() / rows.len() as f64
-    }
-
-    #[test]
-    fn background_load_resumes_after_crash_restart() {
-        // Regression for the dead-generator bug: `on_bg_poll` used to
-        // return without rescheduling when its node was down, so ambient
-        // load never came back after a crash–restart and post-restart
-        // slack was silently flattered. Utilization before the crash must
-        // match utilization after recovery, in both engine modes.
-        for fast in [true, false] {
-            let mut cfg = config(30);
-            cfg.bg_fast_path = fast;
-            let mut cl = Cluster::new(cfg);
-            cl.add_load(Box::new(PeriodicLoad::new(
-                crate::ids::LoadGenId(0),
-                NodeId(2),
-                SimDuration::from_millis(10),
-                0.42,
-            )));
-            cl.crash_node_at(
-                NodeId(2),
-                SimTime::from_secs(10),
-                Some(SimDuration::from_secs(2)),
-            );
-            let out = cl.run();
-            assert_eq!(out.metrics.node_restarts, 1);
-            // Rows land at 0.1 s, 0.2 s, …: row i covers (i*0.1, (i+1)*0.1].
-            let before = mean_util(&out, 2, 20, 95);
-            let outage = mean_util(&out, 2, 105, 115);
-            let after = mean_util(&out, 2, 145, 295);
-            assert!((before - 0.42).abs() < 0.02, "fast={fast} pre-crash {before}");
-            assert!(outage < 0.01, "fast={fast} outage utilization {outage}");
-            assert!(
-                (after - before).abs() < 0.02,
-                "fast={fast} ambient load must recover: before {before}, after {after}"
-            );
-        }
-    }
-
-    #[test]
-    fn restart_before_pending_poll_does_not_double_arm() {
-        // A crash shorter than one inter-arrival gap: the generator's
-        // next poll is still pending at restart (never went dormant), so
-        // the restart must not arm a second poll stream. A doubled stream
-        // would double the imposed utilization.
-        for fast in [true, false] {
-            let mut cfg = config(30);
-            cfg.bg_fast_path = fast;
-            let mut cl = Cluster::new(cfg);
-            cl.add_load(Box::new(PeriodicLoad::new(
-                crate::ids::LoadGenId(0),
-                NodeId(1),
-                SimDuration::from_secs(2),
-                0.3,
-            )));
-            cl.crash_node_at(
-                NodeId(1),
-                SimTime::from_millis(10_100),
-                Some(SimDuration::from_millis(200)),
-            );
-            let out = cl.run();
-            let u = out.metrics.cpu_lifetime_util[1];
-            assert!(
-                (u - 0.3).abs() < 0.05,
-                "fast={fast} lifetime utilization {u} (doubled stream would approach 0.6)"
-            );
-        }
-    }
-
-    #[test]
-    fn bg_fast_path_is_byte_identical_to_slow_path() {
-        // The whole contract of the fast path: identical RNG draws at
-        // identical program points, identical `(time, seq)` allocation,
-        // identical metrics — through stage/background contention, a
-        // crash–restart, and a lossy duplicating bus.
-        let run = |fast: bool| {
-            let mut cfg = config(12);
-            cfg.bg_fast_path = fast;
-            cfg.bus.drop_prob = 0.15;
-            cfg.bus.dup_prob = 0.05;
-            cfg.bus.retx_timeout_us = 20_000;
-            let mut cl = Cluster::new(cfg);
-            cl.enable_trace(4096);
-            cl.add_task(
-                tiny_task(&[(2.0, false, 0), (3.0, false, 1)]),
-                Box::new(|i| 300 + 40 * i),
-            );
-            for n in [0u32, 1, 3] {
-                cl.add_load(Box::new(crate::load::PoissonLoad::with_utilization(
-                    crate::ids::LoadGenId(n),
-                    NodeId(n),
-                    0.35,
-                    SimDuration::from_millis(2),
-                )));
-            }
-            cl.crash_node_at(
-                NodeId(1),
-                SimTime::from_millis(4_200),
-                Some(SimDuration::from_secs(2)),
-            );
-            cl.run()
-        };
-        let on = run(true);
-        let off = run(false);
-        assert_eq!(
-            format!("{:?}", on.metrics),
-            format!("{:?}", off.metrics),
-            "fast path must not change a single metric byte"
-        );
-        let render = |o: &RunOutcome| o.trace.as_ref().expect("trace enabled").render();
-        assert_eq!(render(&on), render(&off), "fast path must not change the trace");
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid load generator config")]
-    fn add_load_validates_generator_configs() {
-        // A custom generator whose config slipped past any constructor
-        // checks (e.g. deserialized or arithmetically built): the engine
-        // rejects it at attach time via `LoadGenerator::validate`.
-        struct BadGen;
-        impl crate::load::LoadGenerator for BadGen {
-            fn node(&self) -> NodeId {
-                NodeId(0)
-            }
-            fn first_at(&self, _rng: &mut crate::rng::SimRng) -> SimTime {
-                SimTime::ZERO
-            }
-            fn arrive(&mut self, now: SimTime, _rng: &mut crate::rng::SimRng) -> crate::load::LoadArrival {
-                crate::load::LoadArrival { demand: SimDuration::ZERO, next_at: now }
-            }
-            fn target_utilization(&self) -> f64 {
-                f64::NAN
-            }
-        }
-        let mut cl = Cluster::new(config(1));
-        cl.add_load(Box::new(BadGen));
-    }
-
-    #[test]
-    fn legacy_fail_node_at_still_kills_permanently() {
-        let mut cl = Cluster::new(config(10));
-        cl.add_task(tiny_task(&[(1.0, false, 0), (1.0, false, 1)]), Box::new(|_| 500));
-        cl.fail_node_at(NodeId(1), SimTime::from_millis(2_500));
-        let out = cl.run();
-        assert_eq!(out.metrics.node_restarts, 0);
-        // Nothing completes after the failure.
-        for p in &out.metrics.periods {
-            if p.released.as_secs_f64() >= 3.0 {
-                assert_ne!(p.missed, Some(false), "instance {}", p.instance);
-            }
-        }
-    }
-}
+#[path = "cluster_tests.rs"]
+mod tests;

@@ -1,0 +1,31 @@
+//! Engine components: the domain logic of the simulation, split by
+//! ownership and registered against the [`crate::kernel::SimKernel`].
+//!
+//! Each engine owns exactly one slice of mutable state and exposes the
+//! handlers for the event kinds in its domain. Handlers take the kernel
+//! and any *other* engines they need as explicit `&mut` parameters —
+//! disjoint struct fields of `Cluster`, so the borrows always split:
+//!
+//! | component                  | owns                                         |
+//! |----------------------------|----------------------------------------------|
+//! | [`DispatchEngine`]         | nodes, job slab, quantum chains, boundaries  |
+//! | [`NetEngine`]              | shared bus, in-flight/retx/dedup state       |
+//! | [`FaultEngine`]            | node death, crash teardown, restart re-arm   |
+//! | [`LoadEngine`]             | background generators and their poll lanes   |
+//! | [`TaskTable`]              | task runtimes, instances, period bookkeeping |
+//!
+//! `Cluster` (the composition root) owns one of each plus the kernel and
+//! the controller, and routes every popped event to the right handler.
+//! See `docs/ARCHITECTURE.md` for the full map.
+
+pub(crate) mod dispatch;
+pub(crate) mod fault;
+pub(crate) mod load;
+pub(crate) mod net;
+pub(crate) mod tasks;
+
+pub(crate) use dispatch::DispatchEngine;
+pub(crate) use fault::FaultEngine;
+pub(crate) use load::LoadEngine;
+pub(crate) use net::NetEngine;
+pub(crate) use tasks::TaskTable;

@@ -24,13 +24,14 @@ use crate::time::SimTime;
 /// Which virtual lane an entry refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) enum LaneRef {
-    /// `Cluster::chains[i]`: the elided quantum chain of a lone job.
+    /// `DispatchEngine::chains[i]`: the elided quantum chain of a lone
+    /// job.
     Chain(u32),
-    /// `Cluster::polls[g]`: the elided next poll of a background
+    /// `LoadEngine::polls[g]`: the elided next poll of a background
     /// generator (fast path only).
     Poll(u32),
-    /// `Cluster::bg_bounds[i]`: the elided dispatch boundary of a node
-    /// running only background work (fast path only).
+    /// `DispatchEngine::bg_bounds[i]`: the elided dispatch boundary of a
+    /// node running only background work (fast path only).
     Bound(u32),
 }
 

@@ -53,16 +53,18 @@
 //! assert!(outcome.metrics.periods.iter().take(4).all(|p| p.missed == Some(false)));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod clock;
 pub mod cluster;
 pub mod control;
+mod engine;
 pub mod event;
 pub mod hashing;
 pub mod ids;
 pub mod job;
+mod kernel;
 mod lane;
 pub mod load;
 pub mod metrics;
@@ -79,7 +81,7 @@ pub mod trace;
 /// One-stop imports for typical users of the simulator.
 pub mod prelude {
     pub use crate::clock::{ClockConfig, ClockModel};
-    pub use crate::cluster::{Cluster, ClusterConfig, RunOutcome, WorkloadFn};
+    pub use crate::cluster::{Cluster, ClusterApi, ClusterConfig, RunOutcome, WorkloadFn};
     pub use crate::control::{
         ControlAction, ControlContext, Controller, NullController, PeriodObservation,
         StageObservation,

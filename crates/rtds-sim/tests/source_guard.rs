@@ -1,0 +1,48 @@
+//! Source-hygiene guard: no file in `crates/rtds-sim/src` may exceed
+//! 1,200 lines.
+//!
+//! The `Cluster` god object this crate was refactored out of grew one
+//! handler at a time; each addition was locally reasonable and the sum
+//! was a 2,000-line module nothing could be tested apart from. This
+//! guard is the pressure valve: when a module approaches the limit,
+//! split it along an engine seam (see `docs/ARCHITECTURE.md`) instead
+//! of raising the number.
+
+use std::path::{Path, PathBuf};
+
+const MAX_LINES: usize = 1_200;
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("read src dir") {
+        let path = entry.expect("read dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_source_file_exceeds_the_line_budget() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut files = Vec::new();
+    rust_sources(&src, &mut files);
+    assert!(
+        files.iter().any(|p| p.ends_with("cluster.rs")),
+        "walker failed to find cluster.rs — wrong directory?"
+    );
+    let oversized: Vec<String> = files
+        .iter()
+        .filter_map(|p| {
+            let lines = std::fs::read_to_string(p).expect("read source file").lines().count();
+            (lines > MAX_LINES).then(|| format!("{} ({lines} lines)", p.display()))
+        })
+        .collect();
+    assert!(
+        oversized.is_empty(),
+        "source files over the {MAX_LINES}-line budget — split along an \
+         engine seam (docs/ARCHITECTURE.md) rather than raising the limit:\n  {}",
+        oversized.join("\n  ")
+    );
+}
